@@ -1,0 +1,59 @@
+"""Figure 7: per-operation breakdown of a TGAT training epoch (LastFM).
+
+Paper shape: TGL has no separate time-delta step (fused into sampling);
+attention dominates the TGLite settings; TGLite+opt pays a little extra
+for the precomputed-time operators but shrinks everything downstream of
+dedup (sampling, data loading, attention, backward).
+"""
+
+import pytest
+
+from repro.bench.breakdown import run_tgat_breakdown
+
+from conftest import report_table
+from helpers import make_config
+
+STAGES = [
+    "batch_prep", "sample", "data_load", "time_zero", "time_nbrs",
+    "attention", "pred_loss", "backward", "opt_step",
+]
+
+
+def test_fig7_tgat_lastfm_breakdown(benchmark):
+    def run_grid():
+        results = {}
+        for framework in ("tgl", "tglite", "tglite+opt"):
+            cfg = make_config("lastfm", "tgat", framework, "gpu")
+            results[framework] = run_tgat_breakdown(cfg, slice_edges=4000)
+        return results
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    rows = []
+    for stage in STAGES:
+        rows.append([
+            stage,
+            *(f"{results[fw].get(stage, 0.0):.3f}" for fw in ("tgl", "tglite", "tglite+opt")),
+        ])
+    rows.append([
+        "total",
+        *(f"{sum(results[fw].values()):.3f}" for fw in ("tgl", "tglite", "tglite+opt")),
+    ])
+    report_table(
+        "Figure 7: TGAT epoch-slice breakdown (seconds), LastFM, all-on-GPU",
+        ["stage", "TGL", "TGLite", "TGLite+opt"],
+        rows,
+        filename="fig7_breakdown.txt",
+    )
+
+    # Shape assertions reproducing §5.2.3's observations.
+    # 1. TGL has no separate neighbor-delta time step (fused into sample).
+    assert "time_nbrs" not in results["tgl"]
+    # 2. TGLite pays a separate time-encoding step.
+    assert results["tglite"]["time_nbrs"] > 0
+    # 3. Attention is a dominant stage for plain TGLite (it outweighs the
+    #    sampling and data-loading stages).
+    assert results["tglite"]["attention"] > results["tglite"]["sample"]
+    assert results["tglite"]["attention"] > results["tglite"]["data_load"]
+    # 4. dedup shrinks the attention stage.
+    assert results["tglite+opt"]["attention"] < results["tglite"]["attention"]

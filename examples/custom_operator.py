@@ -1,0 +1,147 @@
+"""Composability: writing new TBlock operators and a custom TGNN layer.
+
+The point of TGLite's design (§3) is that TBlocks are a central
+representation users can define *new* operators against.  This example
+builds two operators that do not ship with the framework and composes them
+with the built-in ones into a working model:
+
+* ``recency_filter`` — a single-block operator dropping sampled neighbor
+  rows older than a time horizon (a common trick for drifting streams);
+* ``degree_norm`` — a hook-registering operator that rescales a block's
+  computed output by 1/sqrt(deg), demonstrating user-level use of the
+  hooks mechanism (the runtime applies it between layers automatically).
+
+The custom ``MeanPoolLayer`` skips attention entirely: mean-pooled
+neighbor features concatenated with time encodings — a layer the stock
+framework does not provide, assembled purely from public operators.
+
+Run:  python examples/custom_operator.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro import tensor as T
+import repro.core as tg
+from repro.bench import evaluate, train_epoch
+from repro.core import op as tgop
+from repro.data import NegativeSampler, get_dataset
+from repro.models import EdgePredictor
+
+
+# --------------------------------------------------------------------------
+# custom single-block operator: drop neighbor rows older than `horizon`
+# --------------------------------------------------------------------------
+def recency_filter(block: tg.TBlock, horizon: float) -> tg.TBlock:
+    """Keep only sampled neighbors within `horizon` of the query time."""
+    if not block.has_nbrs:
+        raise RuntimeError("recency_filter needs a sampled block")
+    keep = block.time_deltas() <= horizon
+    block.set_nbrs(
+        block.srcnodes[keep], block.eids[keep],
+        block.etimes[keep], block.dstindex[keep],
+    )
+    return block
+
+
+# --------------------------------------------------------------------------
+# custom optimization-style operator using the hooks mechanism
+# --------------------------------------------------------------------------
+def degree_norm(block: tg.TBlock) -> tg.TBlock:
+    """Register a hook rescaling the block's output by 1/sqrt(1 + degree)."""
+
+    def hook(blk: tg.TBlock, output: T.Tensor) -> T.Tensor:
+        degrees = np.bincount(blk.dstindex, minlength=blk.num_dst) if blk.has_nbrs \
+            else np.zeros(blk.num_dst)
+        scale = (1.0 / np.sqrt(1.0 + degrees)).astype(np.float32)
+        return output * T.Tensor(scale[:, None], device=output.device)
+
+    block.register_hook(hook)
+    return block
+
+
+# --------------------------------------------------------------------------
+# custom layer: mean-pool aggregation with time encoding (no attention)
+# --------------------------------------------------------------------------
+class MeanPoolLayer(nn.Module):
+    def __init__(self, ctx, dim_node, dim_edge, dim_time, dim_out):
+        super().__init__()
+        self.ctx = ctx
+        self.time_encoder = nn.TimeEncode(dim_time)
+        self.fc_nbr = nn.Linear(dim_node + dim_edge + dim_time, dim_out)
+        self.fc_out = nn.Linear(dim_node + dim_out, dim_out)
+
+    def forward(self, blk: tg.TBlock) -> T.Tensor:
+        h_dst = blk.dstdata["h"]
+        if blk.num_src == 0:
+            pooled = T.zeros(blk.num_dst, self.fc_nbr.out_features, device=h_dst.device)
+        else:
+            tfeat = self.time_encoder(
+                T.tensor(blk.time_deltas().astype(np.float32), device=self.ctx.device)
+            )
+            z = T.cat([blk.srcdata["h"], blk.efeat(), tfeat], dim=1)
+            # Built-in segmented reduction does the neighborhood pooling.
+            pooled = tgop.edge_reduce(blk, self.fc_nbr(z).relu(), op="mean")
+        return self.fc_out(T.cat([h_dst, pooled], dim=1)).relu()
+
+
+class RecencyMeanModel(nn.Module):
+    """Two-hop mean-pool model composed from custom + built-in operators."""
+
+    def __init__(self, ctx, dim_node, dim_edge, dim_time=16, dim_embed=32,
+                 num_nbrs=10, horizon=5e5):
+        super().__init__()
+        self.ctx = ctx
+        self.horizon = horizon
+        self.sampler = tg.TSampler(num_nbrs, "recent")
+        self.layers = nn.ModuleList([
+            MeanPoolLayer(ctx, dim_node, dim_edge, dim_time, dim_embed),
+            MeanPoolLayer(ctx, dim_embed, dim_edge, dim_time, dim_embed),
+        ])
+        self.edge_predictor = EdgePredictor(dim_embed)
+
+    def reset_state(self):
+        pass
+
+    def forward(self, batch: tg.TBatch):
+        head = batch.block(self.ctx)
+        tail = head
+        for i in range(2):
+            if i > 0:
+                tail = tail.next_block()
+            tail = tgop.dedup(tail)          # built-in optimization op
+            tail = self.sampler.sample(tail)  # built-in sampling op
+            tail = recency_filter(tail, self.horizon)  # custom op
+            tail = degree_norm(tail)          # custom hook-based op
+        tail.dstdata["h"] = tail.dstfeat()
+        tail.srcdata["h"] = tail.srcfeat()
+        # aggregate() runs our custom layers AND our registered hooks.
+        embeds = tgop.aggregate(head, [self.layers[0], self.layers[1]], key="h")
+        return self.edge_predictor.score_batch(embeds, len(batch))
+
+
+def main() -> None:
+    T.manual_seed(5)
+    dataset = get_dataset("mooc")
+    graph = dataset.build_graph(feature_device="cuda")
+    ctx = tg.TContext(graph, device="cuda")
+    model = RecencyMeanModel(
+        ctx, dim_node=dataset.nfeat.shape[1], dim_edge=dataset.efeat.shape[1]
+    ).to("cuda")
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    train_end, val_end, _ = dataset.splits()
+    negatives = NegativeSampler.for_dataset(dataset)
+
+    for epoch in range(2):
+        seconds, loss = train_epoch(
+            model, graph, optimizer, negatives, batch_size=300, stop=train_end
+        )
+        _, ap = evaluate(model, graph, negatives, batch_size=300,
+                         start=train_end, stop=val_end)
+        print(f"epoch {epoch}: {seconds:5.2f}s  loss={loss:.4f}  val AP={ap:.4f}")
+
+    print("\ncustom operators composed cleanly with built-in dedup/sample/aggregate.")
+
+
+if __name__ == "__main__":
+    main()

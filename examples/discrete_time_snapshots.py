@@ -1,0 +1,120 @@
+"""Discrete-time (DTDG) modeling on the snapshot abstraction (§7).
+
+The paper's future-work section proposes extending TGLite to discrete-time
+models "as composable operators on a graph snapshot abstraction".  This
+example exercises exactly that extension (``repro.core.snapshot``):
+
+* the Wiki-like CTDG is chopped into evenly spaced snapshots (Figure 1b);
+* a DySAT/EvolveGCN-flavoured model aggregates each snapshot's structure
+  with the *existing* CTDG block operators (snapshot.block -> TSampler ->
+  edge_reduce), then evolves per-node states across snapshots with a GRU;
+* training predicts the next window's edges from the history so far.
+
+Everything composes from public APIs — no new framework code was needed
+beyond the snapshot abstraction itself.
+
+Run:  python examples/discrete_time_snapshots.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro import tensor as T
+import repro.core as tg
+from repro.bench.metrics import average_precision
+from repro.core import op as tgop
+from repro.data import NegativeSampler, get_dataset
+from repro.models import EdgePredictor
+
+
+class SnapshotGNN(nn.Module):
+    """One message-passing hop over a snapshot, via CTDG block operators."""
+
+    def __init__(self, ctx, dim_in, dim_out, num_nbrs=10):
+        super().__init__()
+        self.ctx = ctx
+        self.sampler = tg.TSampler(num_nbrs, "recent")
+        self.fc_self = nn.Linear(dim_in, dim_out)
+        self.fc_nbr = nn.Linear(dim_in, dim_out)
+
+    def forward(self, snapshot, states: T.Tensor) -> T.Tensor:
+        """Aggregate each node's within-horizon neighborhood."""
+        nodes = np.arange(self.ctx.graph.num_nodes)
+        blk = snapshot.block(self.ctx, nodes=nodes)
+        self.sampler.sample(blk)
+        h_self = self.fc_self(states)
+        if blk.num_src == 0:
+            return h_self.relu()
+        nbr_states = states[blk.srcnodes]
+        pooled = tgop.edge_reduce(blk, self.fc_nbr(nbr_states), op="mean")
+        return (h_self + pooled).relu()
+
+
+class EvolveModel(nn.Module):
+    """Snapshot GNN + GRU state evolution + edge predictor."""
+
+    def __init__(self, ctx, dim_node, dim_hidden=32):
+        super().__init__()
+        self.ctx = ctx
+        self.gnn = SnapshotGNN(ctx, dim_hidden, dim_hidden)
+        self.input_proj = nn.Linear(dim_node, dim_hidden)
+        self.evolve = nn.GRUCell(dim_hidden, dim_hidden)
+        self.edge_predictor = EdgePredictor(dim_hidden)
+        self.dim_hidden = dim_hidden
+
+    def init_states(self) -> T.Tensor:
+        feats = self.ctx.graph.nfeat
+        return self.input_proj(T.Tensor(feats.data, device=self.ctx.device)).tanh()
+
+    def step(self, snapshot, states: T.Tensor) -> T.Tensor:
+        """Consume one snapshot; return evolved per-node states."""
+        aggregated = self.gnn(snapshot, states)
+        return self.evolve(aggregated, states)
+
+    def score_edges(self, states, src, dst):
+        return self.edge_predictor(states[src], states[dst])
+
+
+def main() -> None:
+    T.manual_seed(1)
+    dataset = get_dataset("wiki")
+    graph = dataset.build_graph(feature_device="cpu")
+    ctx = tg.TContext(graph, device="cpu")
+
+    model = EvolveModel(ctx, dim_node=dataset.nfeat.shape[1])
+    optimizer = nn.Adam(model.parameters(), lr=5e-3)
+    negatives = NegativeSampler.for_dataset(dataset)
+    loader = tg.SnapshotLoader(graph, num_snapshots=12)
+    num_train_steps = 8  # first windows train; the rest evaluate
+
+    print(f"{len(loader.snapshots)} snapshots, "
+          f"{[s.num_edges for s in loader.snapshots]} edges per window")
+
+    for epoch in range(4):
+        states = model.init_states()
+        losses, ap_scores = [], []
+        negatives.reset()
+        for step, (history, target) in enumerate(loader):
+            states = model.step(history, states)
+            src, dst = target.src, target.dst
+            neg = negatives.sample(len(target))
+            pos_logits = model.score_edges(states, src, dst)
+            neg_logits = model.score_edges(states, src, neg)
+            if step < num_train_steps:
+                loss = nn.bce_with_logits(pos_logits, T.ones(len(target))) + \
+                    nn.bce_with_logits(neg_logits, T.zeros(len(target)))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                states = states.detach()  # truncated BPTT across snapshots
+            else:
+                labels = np.concatenate([np.ones(len(target)), np.zeros(len(target))])
+                scores = np.concatenate([pos_logits.numpy(), neg_logits.numpy()])
+                ap_scores.append(average_precision(labels, scores))
+        print(f"epoch {epoch}: train loss {np.mean(losses):.4f}  "
+              f"future-window AP {np.mean(ap_scores):.4f}")
+
+
+if __name__ == "__main__":
+    main()

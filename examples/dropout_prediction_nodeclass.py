@@ -1,0 +1,97 @@
+"""Dynamic node classification: predicting student dropout on MOOC.
+
+The MOOC dataset in the paper's Table 3 carries rare dynamic labels
+(students dropping out around bursts of activity).  The standard protocol:
+train a TGNN on link prediction, then fit a small decoder on the frozen
+time-aware embeddings to predict the per-interaction labels, scoring
+ROC-AUC on the chronologically later portion.
+
+Two readings of this example:
+
+1. **The pipeline** — `collect_source_embeddings` + `train_node_classifier`
+   turn any TGLite model into a streaming event detector.
+2. **An honest caveat about synthetic labels** — our scaled-down analog
+   concentrates bursts on a few hyper-active users, so *static identity*
+   features also predict the labels, a shortcut the real datasets offer
+   far less of (the closing note in the output explains).
+
+Run:  python examples/dropout_prediction_nodeclass.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro import tensor as T
+import repro.core as tg
+from repro.bench import (
+    collect_source_embeddings,
+    train_epoch,
+    train_node_classifier,
+)
+from repro.data import NegativeSampler, get_dataset
+from repro.models import JODIE, OptFlags
+
+
+def current_gaps(dataset) -> np.ndarray:
+    """Per-interaction gap since the source user's previous interaction."""
+    last = {}
+    gaps = np.full(dataset.num_edges, np.inf)
+    for i in range(dataset.num_edges):
+        u = int(dataset.src[i])
+        if u in last:
+            gaps[i] = dataset.ts[i] - last[u]
+        last[u] = dataset.ts[i]
+    return gaps
+
+
+def main() -> None:
+    T.manual_seed(11)
+    dataset = get_dataset("mooc")
+    positives = int(dataset.edge_labels.sum())
+    print(f"MOOC-like stream: {dataset.num_edges} interactions, "
+          f"{positives} dropout events ({100 * positives / dataset.num_edges:.2f}%)")
+
+    graph = dataset.build_graph(feature_device="cuda")
+    ctx = tg.TContext(graph, device="cuda")
+    dim_mem = 32
+    graph.set_memory(dim_mem, device="cuda")
+    graph.set_mailbox(JODIE.required_mailbox_dim(dim_mem, dataset.efeat.shape[1]),
+                      device="cuda")
+    model = JODIE(
+        ctx, dim_node=dataset.nfeat.shape[1], dim_edge=dataset.efeat.shape[1],
+        dim_time=32, dim_embed=32, dim_mem=dim_mem, opt=OptFlags.preload_only(),
+    ).to("cuda")
+
+    # Stage 1: self-supervised link-prediction training.
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    negatives = NegativeSampler.for_dataset(dataset)
+    train_end, _, _ = dataset.splits()
+    print("stage 1: link-prediction pre-training ...")
+    for epoch in range(2):
+        model.reset_state()
+        seconds, loss = train_epoch(model, graph, optimizer, negatives,
+                                    batch_size=300, stop=train_end)
+        print(f"  epoch {epoch}: {seconds:.2f}s loss={loss:.4f}")
+
+    # Stage 2: harvest streaming embeddings + fit the dropout decoder.
+    print("stage 2: decoding dropout events ...")
+    model.reset_state()
+    embeds, labels = collect_source_embeddings(model, graph, dataset, batch_size=300)
+    raw = dataset.nfeat[dataset.src]
+    _, auc_temporal = train_node_classifier(embeds, labels, epochs=30)
+    _, auc_static = train_node_classifier(raw, labels, epochs=30)
+    print(f"  dropout ROC-AUC, temporal embeddings: {auc_temporal:.4f}")
+    print(f"  dropout ROC-AUC, static features:     {auc_static:.4f}"
+          "   (identity shortcut of the scaled-down analog; see docstring)")
+
+    print(
+        "\nnote: in this scaled-down synthetic analog, bursts concentrate on a\n"
+        "few hyper-active users, so static identity features are a competitive\n"
+        "shortcut; on the real JODIE datasets (where state changes are spread\n"
+        "across thousands of users) temporal models dominate -- see the TGAT/\n"
+        "TGN/JODIE papers' node-classification tables."
+    )
+
+
+if __name__ == "__main__":
+    main()

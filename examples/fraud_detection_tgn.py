@@ -1,0 +1,101 @@
+"""Real-time fraud detection with TGN on a transaction-like stream.
+
+The paper's introduction motivates CTDGs with real-time fraud detection:
+a financial network is a stream of timestamped transactions, and the task
+is to score how plausible each new transaction is given each account's
+history.  A memory-based model (TGN) fits this well — every account keeps
+a memory vector updated by a GRU as transactions arrive.
+
+This example uses the Reddit-like dataset as the transaction stream
+(users x merchants bipartite graph), trains TGN, and then runs a streaming
+"fraud scoring" pass over the test window: genuine interactions should
+score higher than synthetic corruptions (a proxy for fraudulent activity).
+
+Run:  python examples/fraud_detection_tgn.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro import tensor as T
+import repro.core as tg
+from repro.bench import train_epoch
+from repro.bench.metrics import average_precision
+from repro.data import NegativeSampler, get_dataset
+from repro.models import TGN, OptFlags
+
+
+def build_model(dataset, graph):
+    ctx = tg.TContext(graph, device="cuda")
+    dim_mem = 32
+    graph.set_memory(dim_mem, device="cuda")
+    graph.set_mailbox(
+        TGN.required_mailbox_dim(dim_mem, dataset.efeat.shape[1]), device="cuda"
+    )
+    model = TGN(
+        ctx,
+        dim_node=dataset.nfeat.shape[1],
+        dim_edge=dataset.efeat.shape[1],
+        dim_time=32,
+        dim_embed=32,
+        dim_mem=dim_mem,
+        num_layers=2,
+        num_nbrs=10,
+        opt=OptFlags.all(),
+    ).to("cuda")
+    return ctx, model
+
+
+def streaming_fraud_scores(model, graph, dataset, start, stop, batch_size=300):
+    """Score each incoming transaction against a corrupted counterpart.
+
+    Corruption redirects each transaction to a random other merchant —
+    the classic link-prediction framing of anomaly detection: a fraud
+    score is low plausibility under the learned temporal model.
+    """
+    negatives = NegativeSampler.for_dataset(dataset, seed=123)
+    genuine, corrupted = [], []
+    model.eval()
+    with T.no_grad():
+        for batch in tg.iter_batches(graph, batch_size, start=start, stop=stop):
+            batch.neg_nodes = negatives.sample(len(batch))
+            pos, neg = model(batch)
+            genuine.append(pos.numpy().copy())
+            corrupted.append(neg.numpy().copy())
+    return np.concatenate(genuine), np.concatenate(corrupted)
+
+
+def main() -> None:
+    T.manual_seed(7)
+    dataset = get_dataset("reddit")
+    graph = dataset.build_graph(feature_device="cuda")
+    ctx, model = build_model(dataset, graph)
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    train_end, val_end, test_end = dataset.splits()
+    negatives = NegativeSampler.for_dataset(dataset)
+
+    print("training TGN on the transaction stream ...")
+    for epoch in range(2):
+        model.reset_state()
+        seconds, loss = train_epoch(
+            model, graph, optimizer, negatives, batch_size=300, stop=train_end
+        )
+        print(f"  epoch {epoch}: {seconds:.2f}s loss={loss:.4f}")
+
+    # Streaming detection pass over the unseen test window.  Memory keeps
+    # updating as transactions arrive, as it would in production.
+    print("scoring the live test window ...")
+    genuine, corrupted = streaming_fraud_scores(model, graph, dataset, val_end, test_end)
+
+    labels = np.concatenate([np.ones_like(genuine), np.zeros_like(corrupted)])
+    scores = np.concatenate([genuine, corrupted])
+    ap = average_precision(labels, scores)
+    sep = genuine.mean() - corrupted.mean()
+    flagged = (corrupted > np.percentile(genuine, 10)).mean()
+    print(f"detection AP: {ap:.4f}")
+    print(f"mean score separation (genuine - corrupted): {sep:.3f}")
+    print(f"corrupted transactions scoring above the 10th pct of genuine: {100 * flagged:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

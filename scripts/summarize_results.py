@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Print every reproduced table/figure collected under benchmarks/results/.
+
+Usage:  python scripts/summarize_results.py [results_dir]
+
+Run after ``pytest benchmarks/ --benchmark-only`` to get a single
+consolidated report of the paper reproduction.
+"""
+
+import os
+import sys
+
+ORDER = [
+    "table3_datasets.txt",
+    "fig5_train_gpu.txt",
+    "fig6_train_cpu2gpu.txt",
+    "table4_train_ap.txt",
+    "fig7_breakdown.txt",
+    "table5_inference.txt",
+    "table6_opt_ablation.txt",
+    "table7_large_scale.txt",
+    "table7_oom.txt",
+    "table8_large_ap.txt",
+    "ablation_tblock_vs_mfg.txt",
+    "ablation_hooks.txt",
+    "transfer_accounting.txt",
+]
+
+
+def main() -> int:
+    default = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else default
+    if not os.path.isdir(results_dir):
+        print(f"no results directory at {results_dir}; "
+              "run `pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 1
+    present = set(os.listdir(results_dir))
+    shown = 0
+    for name in ORDER + sorted(present - set(ORDER)):
+        path = os.path.join(results_dir, name)
+        if not os.path.exists(path):
+            continue
+        with open(path) as fh:
+            print(fh.read().rstrip())
+        print()
+        shown += 1
+    if not shown:
+        print("results directory is empty", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Splice the latest benchmarks/results/ tables into EXPERIMENTS.md.
+
+EXPERIMENTS.md contains marker pairs::
+
+    <!-- BEGIN RESULTS:fig5_train_gpu.txt -->
+    ```
+    ... (replaced verbatim with the file's contents) ...
+    ```
+    <!-- END RESULTS -->
+
+Run after ``pytest benchmarks/ --benchmark-only`` so the document always
+quotes the most recent measurement.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DOC = os.path.join(ROOT, "EXPERIMENTS.md")
+RESULTS = os.path.join(ROOT, "benchmarks", "results")
+
+PATTERN = re.compile(
+    r"(<!-- BEGIN RESULTS:(?P<name>[\w.]+) -->\n```\n)(?P<body>.*?)(\n```\n<!-- END RESULTS -->)",
+    re.DOTALL,
+)
+
+
+def main() -> int:
+    with open(DOC) as fh:
+        text = fh.read()
+
+    missing = []
+
+    def replace(match: re.Match) -> str:
+        name = match.group("name")
+        path = os.path.join(RESULTS, name)
+        if not os.path.exists(path):
+            missing.append(name)
+            return match.group(0)
+        with open(path) as fh:
+            body = fh.read().rstrip()
+        return f"{match.group(1)}{body}{match.group(4)}"
+
+    updated, count = PATTERN.subn(replace, text)
+    with open(DOC, "w") as fh:
+        fh.write(updated)
+    print(f"updated {count - len(missing)} result blocks in EXPERIMENTS.md")
+    if missing:
+        print(f"missing results files (left untouched): {missing}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Benchmark harness: trainer, metrics, timing, and experiment runner."""
+
+from .checkpoint import checkpoint_arrays, load_checkpoint, save_checkpoint
+from .metrics import accuracy, average_precision, roc_auc
+from .node_classification import (
+    NodeClassifier,
+    collect_source_embeddings,
+    train_node_classifier,
+)
+from .timing import Breakdown, Timer
+from .trainer import (
+    EpochResult,
+    TrainResult,
+    evaluate,
+    train,
+    train_epoch,
+    warm_replay,
+)
+
+__all__ = [
+    "accuracy",
+    "checkpoint_arrays",
+    "load_checkpoint",
+    "save_checkpoint",
+    "average_precision",
+    "roc_auc",
+    "NodeClassifier",
+    "collect_source_embeddings",
+    "train_node_classifier",
+    "Breakdown",
+    "Timer",
+    "EpochResult",
+    "TrainResult",
+    "evaluate",
+    "train",
+    "train_epoch",
+    "warm_replay",
+]

@@ -1,0 +1,125 @@
+"""Checkpointing: save/restore full training state to a single ``.npz``.
+
+Temporal models carry more state than parameters: resuming mid-stream
+requires node memory, mailbox contents (and ring cursors), and optimizer
+moments, or the replayed stream diverges.  ``save_checkpoint`` captures
+all of it; ``load_checkpoint`` restores in place.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Adam, Module, Optimizer, SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_arrays"]
+
+_PREFIX_MODEL = "model/"
+_PREFIX_MEMORY = "memory/"
+_PREFIX_MAILBOX = "mailbox/"
+_PREFIX_OPTIM = "optim/"
+_META = "meta/format_version"
+_FORMAT_VERSION = 1
+
+
+def _optimizer_state(optimizer: Optimizer) -> Dict[str, np.ndarray]:
+    """Flatten optimizer moments, keyed by parameter position."""
+    state: Dict[str, np.ndarray] = {}
+    if isinstance(optimizer, Adam):
+        state["t"] = np.array([optimizer._t], dtype=np.int64)
+        for i, p in enumerate(optimizer.params):
+            m = optimizer._m.get(id(p))
+            v = optimizer._v.get(id(p))
+            if m is not None:
+                state[f"m/{i}"] = m
+                state[f"v/{i}"] = v
+    elif isinstance(optimizer, SGD):
+        for i, p in enumerate(optimizer.params):
+            vel = optimizer._velocity.get(id(p))
+            if vel is not None:
+                state[f"vel/{i}"] = vel
+    return state
+
+
+def _restore_optimizer(optimizer: Optimizer, state: Dict[str, np.ndarray]) -> None:
+    if isinstance(optimizer, Adam):
+        if "t" in state:
+            optimizer._t = int(state["t"][0])
+        for i, p in enumerate(optimizer.params):
+            if f"m/{i}" in state:
+                optimizer._m[id(p)] = state[f"m/{i}"].copy()
+                optimizer._v[id(p)] = state[f"v/{i}"].copy()
+    elif isinstance(optimizer, SGD):
+        for i, p in enumerate(optimizer.params):
+            if f"vel/{i}" in state:
+                optimizer._velocity[id(p)] = state[f"vel/{i}"].copy()
+
+
+def checkpoint_arrays(model: Module, graph=None, optimizer: Optional[Optimizer] = None) -> Dict[str, np.ndarray]:
+    """Assemble the flat array dict a checkpoint stores."""
+    arrays: Dict[str, np.ndarray] = {_META: np.array([_FORMAT_VERSION])}
+    for name, value in model.state_dict().items():
+        arrays[_PREFIX_MODEL + name] = value
+    if graph is not None and graph.mem is not None:
+        arrays[_PREFIX_MEMORY + "data"] = graph.mem.data.data.copy()
+        arrays[_PREFIX_MEMORY + "time"] = graph.mem.time.copy()
+    if graph is not None and graph.mailbox is not None:
+        arrays[_PREFIX_MAILBOX + "mail"] = graph.mailbox.mail.data.copy()
+        arrays[_PREFIX_MAILBOX + "time"] = graph.mailbox.time.copy()
+        if graph.mailbox._next_slot is not None:
+            arrays[_PREFIX_MAILBOX + "cursor"] = graph.mailbox._next_slot.copy()
+    if optimizer is not None:
+        for key, value in _optimizer_state(optimizer).items():
+            arrays[_PREFIX_OPTIM + key] = value
+    return arrays
+
+
+def save_checkpoint(path: str, model: Module, graph=None, optimizer: Optional[Optimizer] = None) -> None:
+    """Write model + memory/mailbox + optimizer state to *path* (.npz)."""
+    arrays = checkpoint_arrays(model, graph=graph, optimizer=optimizer)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str, model: Module, graph=None, optimizer: Optional[Optimizer] = None) -> None:
+    """Restore state saved by :func:`save_checkpoint` (in place).
+
+    Raises ``KeyError``/``ValueError`` on structural mismatches (missing
+    parameters, wrong shapes), so silently loading the wrong checkpoint is
+    not possible.
+    """
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    version = int(arrays.pop(_META, np.array([0]))[0])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format version: {version}")
+    model_state = {
+        key[len(_PREFIX_MODEL):]: value
+        for key, value in arrays.items()
+        if key.startswith(_PREFIX_MODEL)
+    }
+    model.load_state_dict(model_state)
+    if graph is not None and graph.mem is not None:
+        if _PREFIX_MEMORY + "data" not in arrays:
+            raise KeyError("checkpoint has no memory state but the graph expects it")
+        graph.mem.data.data[...] = arrays[_PREFIX_MEMORY + "data"]
+        graph.mem.time[...] = arrays[_PREFIX_MEMORY + "time"]
+    if graph is not None and graph.mailbox is not None:
+        if _PREFIX_MAILBOX + "mail" not in arrays:
+            raise KeyError("checkpoint has no mailbox state but the graph expects it")
+        graph.mailbox.mail.data[...] = arrays[_PREFIX_MAILBOX + "mail"]
+        graph.mailbox.time[...] = arrays[_PREFIX_MAILBOX + "time"]
+        if graph.mailbox._next_slot is not None:
+            graph.mailbox._next_slot[...] = arrays[_PREFIX_MAILBOX + "cursor"]
+    if optimizer is not None:
+        optim_state = {
+            key[len(_PREFIX_OPTIM):]: value
+            for key, value in arrays.items()
+            if key.startswith(_PREFIX_OPTIM)
+        }
+        _restore_optimizer(optimizer, optim_state)

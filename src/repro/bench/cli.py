@@ -1,0 +1,107 @@
+"""Command-line experiment runner.
+
+Mirrors the artifact's training scripts (Appendix C): one command trains a
+model/dataset/framework combination and reports per-epoch wall time and
+average precision, optionally followed by timed test-set inference.
+
+Examples::
+
+    python -m repro.bench --model tgat --dataset wiki --framework tglite+opt
+    python -m repro.bench --model tgn --dataset lastfm --placement cpu2gpu \
+        --epochs 3 --inference
+    python -m repro.bench --list-datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..data import available_datasets, get_dataset
+from .experiments import FRAMEWORKS, MODELS, Experiment, ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Train/evaluate a TGNN under a chosen framework setting.",
+    )
+    parser.add_argument("--model", choices=MODELS, default="tgat")
+    parser.add_argument("--dataset", choices=available_datasets(), default="wiki")
+    parser.add_argument("--framework", choices=FRAMEWORKS, default="tglite+opt")
+    parser.add_argument("--placement", choices=("gpu", "cpu2gpu"), default="gpu",
+                        help="all-on-GPU or host-resident data (simulated)")
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--batch-size", type=int, default=300)
+    parser.add_argument("--num-nbrs", type=int, default=10)
+    parser.add_argument("--num-layers", type=int, default=2)
+    parser.add_argument("--dim-embed", type=int, default=32)
+    parser.add_argument("--dim-time", type=int, default=32)
+    parser.add_argument("--dim-mem", type=int, default=32)
+    parser.add_argument("--sampling", choices=("recent", "uniform"), default="recent")
+    parser.add_argument("--lr", type=float, default=1e-3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--inference", action="store_true",
+                        help="after training, time test-set inference")
+    parser.add_argument("--capacity-mb", type=int, default=None,
+                        help="simulated device capacity in MiB (for OOM studies)")
+    parser.add_argument("--list-datasets", action="store_true",
+                        help="print dataset statistics and exit")
+    return parser
+
+
+def _print_datasets() -> None:
+    header = f"{'dataset':10s} {'|V|':>8s} {'|E|':>10s} {'d_v':>5s} {'d_e':>5s} {'max(t)':>10s}"
+    print(header)
+    print("-" * len(header))
+    for name in available_datasets():
+        s = get_dataset(name).stats()
+        print(f"{name:10s} {s['|V|']:>8d} {s['|E|']:>10d} {s['d_v']:>5d} "
+              f"{s['d_e']:>5d} {s['max(t)']:>10.2e}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_datasets:
+        _print_datasets()
+        return 0
+
+    cfg = ExperimentConfig(
+        dataset=args.dataset,
+        model=args.model,
+        framework=args.framework,
+        placement=args.placement,
+        batch_size=args.batch_size,
+        epochs=args.epochs,
+        num_layers=args.num_layers,
+        num_nbrs=args.num_nbrs,
+        dim_time=args.dim_time,
+        dim_embed=args.dim_embed,
+        dim_mem=args.dim_mem,
+        sampling=args.sampling,
+        lr=args.lr,
+        seed=args.seed,
+        device_capacity=args.capacity_mb * 1024 * 1024 if args.capacity_mb else None,
+    )
+    print(f"running {cfg.label()}  (batch={cfg.batch_size}, nbrs={cfg.num_nbrs}, "
+          f"layers={cfg.num_layers}, epochs={cfg.epochs})")
+    exp = Experiment(cfg)
+    try:
+        result = exp.run_training()
+        for e in result.epochs:
+            print(f"  epoch {e.epoch}: train {e.train_seconds:7.2f}s  "
+                  f"loss {e.train_loss:.4f}  val AP {e.eval_ap:.4f}")
+        print(f"best val AP: {result.best_ap:.4f}")
+        if args.inference:
+            seconds, ap = exp.run_test_inference()
+            print(f"test inference: {seconds:.2f}s  AP {ap:.4f}")
+    finally:
+        exp.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""TGLite core: data abstractions and composable operators for CTDG models.
+
+This package is the reproduction of the paper's primary contribution.  The
+public surface mirrors the ``tglite`` module of the original release::
+
+    import repro.core as tg
+
+    g = tg.TGraph(src, dst, ts)
+    ctx = tg.TContext(g)
+    sampler = tg.TSampler(10, 'recent')
+    for batch in tg.iter_batches(g, 600):
+        head = batch.block(ctx)
+        ...
+        tail = tg.op.dedup(tail)
+        tail = sampler.sample(tail)
+        embs = tg.op.aggregate(head, layers, key='h')
+"""
+
+from . import op
+from .batch import TBatch, iter_batches
+from .block import TBlock
+from .context import TContext
+from .graph import TGraph, TemporalCSR, from_edges, to_networkx
+from .mailbox import Mailbox
+from .memory import Memory
+from .sampler import TSampler
+from .snapshot import SnapshotLoader, TSnapshot, snapshots
+
+__all__ = [
+    "op",
+    "TBatch",
+    "iter_batches",
+    "TBlock",
+    "TContext",
+    "TGraph",
+    "TemporalCSR",
+    "from_edges",
+    "to_networkx",
+    "Mailbox",
+    "Memory",
+    "TSampler",
+    "TSnapshot",
+    "SnapshotLoader",
+    "snapshots",
+]

@@ -1,0 +1,130 @@
+"""TBatch: a thin wrapper around a contiguous batch of temporal edges.
+
+Rather than haphazardly passing several node/timestamp arrays around, a
+TBatch holds a :class:`~repro.core.graph.TGraph` reference plus the batch's
+edge-index range and materializes derived arrays (node lists, head blocks,
+adjacency blocks) only when asked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from .block import TBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import TContext
+    from .graph import TGraph
+
+__all__ = ["TBatch", "iter_batches"]
+
+
+class TBatch:
+    """A batch of chronologically contiguous temporal edges.
+
+    Args:
+        g: the temporal graph.
+        start: first edge index of the batch (inclusive).
+        stop: one past the last edge index.
+        neg_nodes: optional array of negative-sample node ids, one per
+            positive edge, attached by the training loop for link
+            prediction.
+    """
+
+    def __init__(self, g: "TGraph", start: int, stop: int, neg_nodes: Optional[np.ndarray] = None):
+        if not 0 <= start <= stop <= g.num_edges:
+            raise ValueError(f"invalid batch range [{start}, {stop}) for {g.num_edges} edges")
+        self.g = g
+        self.start = int(start)
+        self.stop = int(stop)
+        self.neg_nodes = neg_nodes
+
+    # ---- lazily materialized views -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    @property
+    def eids(self) -> np.ndarray:
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    @property
+    def src(self) -> np.ndarray:
+        return self.g.src[self.start : self.stop]
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self.g.dst[self.start : self.stop]
+
+    @property
+    def ts(self) -> np.ndarray:
+        return self.g.ts[self.start : self.stop]
+
+    def nodes(self) -> np.ndarray:
+        """Source nodes, destination nodes, then negatives (if attached)."""
+        parts = [self.src, self.dst]
+        if self.neg_nodes is not None:
+            parts.append(self.neg_nodes)
+        return np.concatenate(parts)
+
+    def times(self) -> np.ndarray:
+        """Timestamps aligned with :meth:`nodes` (the batch times, tiled)."""
+        reps = 3 if self.neg_nodes is not None else 2
+        return np.tile(self.ts, reps)
+
+    # ---- block constructors ------------------------------------------------------------
+
+    def block(self, ctx: "TContext") -> TBlock:
+        """Head TBlock whose destinations are the batch's target node-time
+        pairs: sources, destinations, and negatives, all at the batch's
+        edge timestamps.  This is what embedding computation starts from.
+        """
+        return TBlock(ctx, 0, self.nodes(), self.times())
+
+    def block_adj(self, ctx: "TContext") -> TBlock:
+        """A block capturing the batch edges themselves as adjacency.
+
+        Destinations are the batch's endpoint nodes (with duplicates — use
+        ``op.coalesce`` to reduce); each batch edge contributes two source
+        rows, one per direction, carrying the edge id and timestamp.  Used
+        by memory-based models to build mailbox messages (e.g. Listing 4's
+        ``save_raw_msgs``).
+        """
+        src, dst, ts = self.src, self.dst, self.ts
+        endpoints = np.concatenate([src, dst])
+        neighbors = np.concatenate([dst, src])
+        eids = np.concatenate([self.eids, self.eids])
+        etimes = np.concatenate([ts, ts])
+        blk = TBlock(ctx, 0, endpoints, etimes.astype(np.float64))
+        blk.set_nbrs(neighbors, eids, etimes.astype(np.float64), np.arange(len(endpoints), dtype=np.int64))
+        return blk
+
+    def __repr__(self) -> str:
+        return f"TBatch(edges=[{self.start}, {self.stop}), size={len(self)})"
+
+
+def iter_batches(
+    g: "TGraph",
+    batch_size: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> Iterator[TBatch]:
+    """Yield chronologically contiguous :class:`TBatch` slices of *g*.
+
+    Args:
+        g: the temporal graph (edges already time-sorted).
+        batch_size: edges per batch (the final batch may be smaller).
+        start: first edge index to cover.
+        stop: one past the last edge index (defaults to all edges).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    stop = g.num_edges if stop is None else stop
+    for lo in range(start, stop, batch_size):
+        yield TBatch(g, lo, min(lo + batch_size, stop))

@@ -1,0 +1,258 @@
+"""TContext: settings and scratch space used by the TGLite runtime.
+
+A :class:`TContext` carries (a) placement policy — which simulated device
+computation runs on and where raw feature data lives — and (b) scratch
+storage for the optimization operators: the embedding cache used by
+``op.cache()``, the precomputed time-vector tables used by
+``op.precomputed_times()``/``op.precomputed_zeros()``, and the pool of
+pinned staging buffers used by ``op.preload()``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.device import CPU, Device, get_device
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import TGraph
+
+__all__ = ["TContext"]
+
+
+class _PinnedPool:
+    """Reusable pinned staging buffers, keyed by trailing row shape + dtype.
+
+    Mirrors TGLite's pre-allocated pinned-memory pool: ``preload()`` copies
+    gathered feature rows into a pooled buffer so the (simulated) DMA engine
+    can transfer at pinned bandwidth without per-batch allocation.
+    """
+
+    def __init__(self):
+        self._buffers: Dict[Tuple[Tuple[int, ...], str], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def stage(self, rows: np.ndarray) -> Tensor:
+        """Copy *rows* into a pooled pinned host buffer and return it."""
+        key = (rows.shape[1:], rows.dtype.str)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape[0] < rows.shape[0]:
+            capacity = max(rows.shape[0], 2 * (buf.shape[0] if buf is not None else 0))
+            buf = np.empty((capacity,) + rows.shape[1:], dtype=rows.dtype)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        view = buf[: rows.shape[0]]
+        np.copyto(view, rows)
+        staged = Tensor(view, device=CPU, pinned=True)
+        return staged
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+class _EmbedCache:
+    """Bounded (node, time) -> embedding row store backing ``op.cache()``.
+
+    Entries live in a ring of numpy rows; the dict maps the (node, time)
+    pair to its slot.  Eviction is FIFO by slot reuse, which matches the
+    behaviour TGOpt describes for its memoization table.
+    """
+
+    def __init__(self, capacity: int, dim: Optional[int] = None):
+        self.capacity = int(capacity)
+        self.dim = dim
+        self._slots: Optional[np.ndarray] = None
+        self._index: Dict[Tuple[int, float], int] = {}
+        self._keys: list = []
+        self._cursor = 0
+        self.hits = 0
+        self.lookups = 0
+
+    def _ensure(self, dim: int) -> None:
+        if self._slots is None:
+            self.dim = dim
+            self._slots = np.zeros((self.capacity, dim), dtype=np.float32)
+            self._keys = [None] * self.capacity
+
+    def lookup(self, nodes: np.ndarray, times: np.ndarray) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Return (hit_mask, rows) for each (node, time) query pair."""
+        n = len(nodes)
+        self.lookups += n
+        hit_mask = np.zeros(n, dtype=bool)
+        if self._slots is None or n == 0:
+            return hit_mask, None
+        rows = np.zeros((n, self.dim), dtype=np.float32)
+        index = self._index
+        for i in range(n):
+            slot = index.get((int(nodes[i]), float(times[i])))
+            if slot is not None:
+                hit_mask[i] = True
+                rows[i] = self._slots[slot]
+        self.hits += int(hit_mask.sum())
+        return hit_mask, rows
+
+    def store(self, nodes: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        if len(nodes) == 0:
+            return
+        self._ensure(values.shape[1])
+        for i in range(len(nodes)):
+            slot = self._cursor
+            old_key = self._keys[slot]
+            if old_key is not None:
+                self._index.pop(old_key, None)
+            key = (int(nodes[i]), float(times[i]))
+            self._index[key] = slot
+            self._keys[slot] = key
+            self._slots[slot] = values[i]
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def clear(self) -> None:
+        self._index.clear()
+        self._keys = [None] * self.capacity if self._slots is not None else []
+        self._cursor = 0
+        self.hits = 0
+        self.lookups = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TContext:
+    """Runtime settings and scratch space for TGLite computations.
+
+    Args:
+        graph: the :class:`~repro.core.graph.TGraph` this context serves.
+        device: simulated device computation runs on.
+        cache_limit: capacity (rows) of each per-layer embedding cache.
+        time_window: rounding resolution for precomputed-time lookups; time
+            deltas are quantized to multiples of this before table lookup
+            (0 means exact float matching).
+    """
+
+    def __init__(
+        self,
+        graph: "TGraph",
+        device: Union[str, Device, None] = None,
+        cache_limit: int = 20000,
+        time_window: float = 0.0,
+    ):
+        self.graph = graph
+        self.device = get_device(device)
+        self.cache_limit = cache_limit
+        self.time_window = time_window
+        self.training = True
+        graph.ctx = self
+
+        self._pinned_pool = _PinnedPool()
+        self._embed_caches: Dict[int, _EmbedCache] = {}
+        self._time_tables: Dict[int, dict] = {}
+        self._time_zero_rows: Dict[int, Tuple[int, np.ndarray]] = {}
+        #: operator-effectiveness counters (rows seen/removed per operator),
+        #: updated by dedup()/cache(); see op_stats().
+        self.counters: Dict[str, int] = {}
+
+    # ---- modes ------------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "TContext":
+        """Switch the context into training (True) or inference mode."""
+        self.training = mode
+        if mode:
+            # Cached embeddings are invalid once parameters start moving.
+            self.clear_embed_cache()
+        return self
+
+    def eval(self) -> "TContext":
+        return self.train(False)
+
+    # ---- pinned pool ---------------------------------------------------------------
+
+    @property
+    def pinned_pool(self) -> _PinnedPool:
+        return self._pinned_pool
+
+    def stage_pinned(self, rows: np.ndarray) -> Tensor:
+        """Stage host rows into the pinned pool (see ``op.preload``)."""
+        return self._pinned_pool.stage(rows)
+
+    # ---- embedding cache -------------------------------------------------------------
+
+    def embed_cache(self, layer: int) -> _EmbedCache:
+        """The (lazily created) embedding cache for a given layer index."""
+        cache = self._embed_caches.get(layer)
+        if cache is None:
+            cache = _EmbedCache(self.cache_limit)
+            self._embed_caches[layer] = cache
+        return cache
+
+    def clear_embed_cache(self) -> None:
+        for cache in self._embed_caches.values():
+            cache.clear()
+
+    def cache_stats(self) -> Dict[int, float]:
+        """Per-layer cache hit rates (for instrumentation/benchmarks)."""
+        return {layer: c.hit_rate for layer, c in self._embed_caches.items()}
+
+    # ---- operator-effectiveness counters -----------------------------------
+
+    def count(self, key: str, amount: int) -> None:
+        """Accumulate an operator counter (e.g. 'dedup_rows_in')."""
+        self.counters[key] = self.counters.get(key, 0) + int(amount)
+
+    def op_stats(self) -> Dict[str, float]:
+        """Summarize operator effectiveness from the accumulated counters.
+
+        Returns ratios such as ``dedup_reduction`` (fraction of destination
+        rows removed by dedup) and ``cache_hit_rate`` alongside the raw
+        counters — the numbers §5.2's discussion attributes speedups to.
+        """
+        stats: Dict[str, float] = dict(self.counters)
+        rows_in = self.counters.get("dedup_rows_in", 0)
+        rows_out = self.counters.get("dedup_rows_out", 0)
+        if rows_in:
+            stats["dedup_reduction"] = 1.0 - rows_out / rows_in
+        lookups = sum(c.lookups for c in self._embed_caches.values())
+        hits = sum(c.hits for c in self._embed_caches.values())
+        if lookups:
+            stats["cache_hit_rate"] = hits / lookups
+        return stats
+
+    def reset_counters(self) -> None:
+        self.counters.clear()
+
+    # ---- precomputed time tables --------------------------------------------------------
+
+    def time_table(self, encoder_id: int) -> dict:
+        """Scratch dict for one TimeEncode module's precomputed vectors."""
+        table = self._time_tables.get(encoder_id)
+        if table is None:
+            table = {"version": None, "values": None, "rows": None}
+            self._time_tables[encoder_id] = table
+        return table
+
+    def time_zero_slot(self, encoder_id: int):
+        return self._time_zero_rows.get(encoder_id)
+
+    def set_time_zero_slot(self, encoder_id: int, version: int, row: np.ndarray) -> None:
+        self._time_zero_rows[encoder_id] = (version, row)
+
+    def clear_time_tables(self) -> None:
+        self._time_tables.clear()
+        self._time_zero_rows.clear()
+
+    # ---- misc ------------------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all scratch state (between experiments)."""
+        self._pinned_pool.clear()
+        self._embed_caches.clear()
+        self.clear_time_tables()
+
+    def __repr__(self) -> str:
+        return f"TContext(device='{self.device}', training={self.training})"

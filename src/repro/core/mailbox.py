@@ -1,0 +1,105 @@
+"""Mailbox storage: raw messages delivered to nodes for later batches.
+
+Memory-based TGNN training must avoid *information leakage* — a batch's
+edges may not influence the predictions made for that same batch.  The
+standard scheme (adopted from TGN and TGL) stores each batch's raw messages
+in a mailbox at the end of the forward pass and consumes them at the *next*
+memory update.  ``Mailbox`` supports a single slot (TGN/JODIE: latest
+message wins) or a ring of ``slots`` messages per node (APAN: mailbox of
+size 10, aggregated by the model).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.device import Device, get_device
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """Per-node message slots and delivery timestamps.
+
+    Args:
+        num_nodes: number of nodes.
+        dim: message vector width.
+        slots: messages retained per node; 1 keeps only the latest.
+        device: backing storage placement.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        dim: int,
+        slots: int = 1,
+        device: Union[str, Device, None] = None,
+    ):
+        if slots < 1:
+            raise ValueError("mailbox needs at least one slot")
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.slots = slots
+        self.device = get_device(device)
+        shape = (num_nodes, dim) if slots == 1 else (num_nodes, slots, dim)
+        self.mail = Tensor(np.zeros(shape, dtype=np.float32), device=self.device)
+        tshape = (num_nodes,) if slots == 1 else (num_nodes, slots)
+        self.time = np.zeros(tshape, dtype=np.float64)
+        # Ring-buffer write cursor per node (multi-slot only).
+        self._next_slot = np.zeros(num_nodes, dtype=np.int64) if slots > 1 else None
+
+    def get(self, nodes: np.ndarray) -> Tensor:
+        """Mail rows for *nodes*: ``(n, dim)`` or ``(n, slots, dim)``. Detached."""
+        return Tensor(self.mail.data[nodes], device=self.device)
+
+    def get_time(self, nodes: np.ndarray) -> np.ndarray:
+        return self.time[nodes]
+
+    def store(self, nodes: np.ndarray, mail: Tensor, times: np.ndarray) -> None:
+        """Deliver one message per node in *nodes*.
+
+        With one slot the message replaces the previous one; with multiple
+        slots it is written at the node's ring-buffer cursor.  *nodes* must
+        be unique within a call (use ``op.coalesce`` or ``op.src_scatter``
+        to reduce duplicates first).  Cross-device writes pay the simulated
+        transfer cost.
+        """
+        if isinstance(mail, Tensor) and mail.device is not self.device:
+            mail = mail.to(self.device)
+        mail_data = mail.data if isinstance(mail, Tensor) else np.asarray(mail)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) != len(np.unique(nodes)):
+            raise ValueError("mailbox store requires unique node ids per call")
+        if self.slots == 1:
+            self.mail.data[nodes] = mail_data
+            self.time[nodes] = times
+        else:
+            cursors = self._next_slot[nodes]
+            self.mail.data[nodes, cursors] = mail_data
+            self.time[nodes, cursors] = times
+            self._next_slot[nodes] = (cursors + 1) % self.slots
+
+    def reset(self) -> None:
+        self.mail.data[...] = 0.0
+        self.time[...] = 0.0
+        if self._next_slot is not None:
+            self._next_slot[...] = 0
+
+    def to(self, device: Union[str, Device]) -> "Mailbox":
+        target = get_device(device)
+        if target is not self.device:
+            self.mail = self.mail.to(target)
+            self.device = target
+        return self
+
+    def nbytes(self) -> int:
+        return self.mail.data.nbytes + self.time.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Mailbox(nodes={self.num_nodes}, dim={self.dim}, "
+            f"slots={self.slots}, device='{self.device}')"
+        )

@@ -1,0 +1,89 @@
+"""Node memory storage for memory-based TGNN models (TGN/JODIE/APAN).
+
+``Memory`` holds one vector per node plus the timestamp of its last update
+(Eq. 11 in the paper: ``s_i(t)``).  It is deliberately a plain storage
+component — the *update function* (GRU/RNN) lives in the models — but it
+centralizes device placement so TGLite can preload/cache it like any other
+graph data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.device import Device, get_device
+
+__all__ = ["Memory"]
+
+
+class Memory:
+    """Per-node memory vectors and last-updated timestamps.
+
+    Args:
+        num_nodes: number of nodes.
+        dim: memory vector width.
+        device: where the backing storage lives ('cpu' keeps it host-side
+            for the CPU-to-GPU experiments).
+    """
+
+    def __init__(self, num_nodes: int, dim: int, device: Union[str, Device, None] = None):
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.device = get_device(device)
+        self.data = Tensor(np.zeros((num_nodes, dim), dtype=np.float32), device=self.device)
+        self.time = np.zeros(num_nodes, dtype=np.float64)
+        self._backup: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def get(self, nodes: np.ndarray) -> Tensor:
+        """Memory rows for *nodes* (detached: gradients never flow into storage)."""
+        return Tensor(self.data.data[nodes], device=self.device)
+
+    def get_time(self, nodes: np.ndarray) -> np.ndarray:
+        return self.time[nodes]
+
+    def update(self, nodes: np.ndarray, values: Tensor, times: np.ndarray) -> None:
+        """Overwrite memory rows and last-update times for *nodes*.
+
+        Values are detached before storage: the training scheme gets
+        gradients via the *current* batch's loss, never by backpropagating
+        through persistent state (which would leak across batches).
+        Cross-device writes pay the simulated transfer cost.
+        """
+        if isinstance(values, Tensor) and values.device is not self.device:
+            values = values.to(self.device)
+        values_data = values.data if isinstance(values, Tensor) else np.asarray(values)
+        self.data.data[nodes] = values_data
+        self.time[nodes] = times
+
+    def reset(self) -> None:
+        """Zero all memory (start of training, or replay from scratch)."""
+        self.data.data[...] = 0.0
+        self.time[...] = 0.0
+
+    def backup(self) -> None:
+        """Snapshot current state (e.g. end of training, before inference)."""
+        self._backup = (self.data.data.copy(), self.time.copy())
+
+    def restore(self) -> None:
+        """Restore the last snapshot taken by :meth:`backup`."""
+        if self._backup is None:
+            raise RuntimeError("no memory backup to restore")
+        self.data.data[...] = self._backup[0]
+        self.time[...] = self._backup[1]
+
+    def to(self, device: Union[str, Device]) -> "Memory":
+        """Move backing storage to *device* (pays simulated transfer cost)."""
+        target = get_device(device)
+        if target is not self.device:
+            self.data = self.data.to(target)
+            self.device = target
+        return self
+
+    def nbytes(self) -> int:
+        return self.data.data.nbytes + self.time.nbytes
+
+    def __repr__(self) -> str:
+        return f"Memory(nodes={self.num_nodes}, dim={self.dim}, device='{self.device}')"

@@ -1,0 +1,64 @@
+"""Embedding memoization operator (the TGOpt ``cache()`` optimization).
+
+Previously computed time-aware embeddings can be reused as long as the
+model parameters have not changed, because an embedding is a pure function
+of the (node, time) pair and the (frozen) weights.  ``cache()`` therefore
+only engages in inference mode (``ctx.training`` false); during training it
+is an inexpensive no-op, matching how the paper's models enable it only for
+inference.
+
+The operator looks up each destination pair in the context's per-layer
+cache, shrinks the block to the misses, and registers a hook that merges
+computed miss rows with cached hit rows (and stores the new rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...tensor import Tensor, index_put
+from ..block import TBlock
+from ..context import TContext
+
+__all__ = ["cache"]
+
+
+def cache(ctx: TContext, block: TBlock, layer: int = None) -> TBlock:
+    """Filter a block's destinations to cache misses, in place.
+
+    Args:
+        ctx: context owning the embedding caches.
+        block: target block (before sampling).
+        layer: cache namespace; defaults to the block's layer id.
+
+    Returns the block (mutated in place when there are cache hits).
+    """
+    if ctx.training:
+        return block
+    if block.has_nbrs:
+        raise RuntimeError("cache must be applied before sampling neighbors")
+    store = ctx.embed_cache(block.layer_id if layer is None else layer)
+    nodes, times = block.dstnodes, block.dsttimes
+    hit_mask, hit_rows = store.lookup(nodes, times)
+    num_hits = int(hit_mask.sum())
+
+    if num_hits == 0:
+        def store_hook(blk: TBlock, output: Tensor) -> Tensor:
+            store.store(nodes, times, output.data)
+            return output
+
+        block.register_hook(store_hook)
+        return block
+
+    miss_idx = np.flatnonzero(~hit_mask)
+    miss_nodes = nodes[miss_idx]
+    miss_times = times[miss_idx]
+    block.set_dst(miss_nodes, miss_times)
+
+    def merge_hook(blk: TBlock, output: Tensor) -> Tensor:
+        store.store(miss_nodes, miss_times, output.data)
+        full = Tensor(hit_rows.astype(output.data.dtype, copy=True), device=output.device)
+        return index_put(full, miss_idx, output)
+
+    block.register_hook(merge_hook)
+    return block

@@ -1,0 +1,86 @@
+"""Time-precomputation operators (non-block optimization operators).
+
+The cosine time encoder (Eq. 8) frequently re-encodes the same time deltas:
+the delta 0 for every destination's self term, and a heavy-tailed but
+highly repetitive distribution of neighbor deltas.  These operators
+precompute time vectors and reuse them:
+
+* :func:`precomputed_zeros` — specialized for the all-zeros delta case;
+* :func:`precomputed_times` — general table of delta -> time vector.
+
+Both are *semantic-preserving only while the encoder weights are fixed*, so
+in training mode they transparently fall back to the differentiable encoder
+(matching the paper's models, which enable them during inference).  The
+tables key on the encoder's version counter and rebuild after any weight
+update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...nn.time_encode import TimeEncode
+from ...tensor import Tensor
+from ..context import TContext
+
+__all__ = ["precomputed_zeros", "precomputed_times"]
+
+
+def precomputed_zeros(ctx: TContext, encoder: TimeEncode, n: int) -> Tensor:
+    """Time vectors for *n* zero deltas, ``Phi(0)`` tiled ``n`` times.
+
+    In training mode, computes through the encoder so gradients flow.
+    """
+    if ctx.training:
+        return encoder(Tensor(np.zeros(n, dtype=np.float32), device=ctx.device))
+    slot = ctx.time_zero_slot(id(encoder))
+    if slot is None or slot[0] != encoder.version:
+        row = encoder.encode_raw(np.zeros(1, dtype=np.float32))[0]
+        ctx.set_time_zero_slot(id(encoder), encoder.version, row)
+    else:
+        row = slot[1]
+    return Tensor(np.broadcast_to(row, (n, encoder.dim)).copy(), device=ctx.device)
+
+
+def precomputed_times(ctx: TContext, encoder: TimeEncode, deltas: np.ndarray) -> Tensor:
+    """Time vectors for *deltas*, reusing a per-encoder lookup table.
+
+    Args:
+        ctx: context owning the tables (``ctx.time_window`` > 0 quantizes
+            deltas to that resolution before lookup, trading a bounded
+            approximation for a higher hit rate; 0 matches exactly).
+        encoder: the TimeEncode module.
+        deltas: float array of time deltas.
+
+    In training mode, computes through the encoder so gradients flow.
+    """
+    deltas = np.asarray(deltas, dtype=np.float32).reshape(-1)
+    if ctx.training:
+        return encoder(Tensor(deltas, device=ctx.device))
+
+    if ctx.time_window > 0:
+        deltas = np.round(deltas / ctx.time_window) * np.float32(ctx.time_window)
+
+    table = ctx.time_table(id(encoder))
+    if table["version"] != encoder.version:
+        table["version"] = encoder.version
+        table["map"] = {}
+        table["rows"] = []
+
+    mapping = table["map"]
+    rows = table["rows"]
+    uniq, inverse = np.unique(deltas, return_inverse=True)
+    missing = [v for v in uniq if float(v) not in mapping]
+    if missing:
+        encoded = encoder.encode_raw(np.asarray(missing, dtype=np.float32))
+        for value, row in zip(missing, encoded):
+            mapping[float(value)] = len(rows)
+            rows.append(row)
+    indices = np.fromiter(
+        (mapping[float(v)] for v in uniq), count=len(uniq), dtype=np.int64
+    )
+    stacked = np.asarray(rows, dtype=np.float32)
+    out = stacked[indices][inverse]
+    return Tensor(out, device=ctx.device)

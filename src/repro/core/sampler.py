@@ -1,0 +1,115 @@
+"""TSampler: temporal neighborhood sampling as a block operator.
+
+Given a block's destination node-time pairs, the sampler selects up to
+``num_nbrs`` neighbors per pair from the graph's temporal CSR, restricted
+to edges strictly earlier than the pair's time (the ``N(i, t)`` of Eq. 2).
+Two strategies are supported, matching the paper: ``'recent'`` (most recent
+edges first — TGL's default and the setting used in the evaluation) and
+``'uniform'`` (uniform over the temporal history).
+
+The original implementation is a 32/64-thread C++ parallel sampler; here
+the kernel is a numpy routine whose per-pair work is a binary search plus a
+tail slice, which preserves the algorithmic behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor.random import fork_generator
+from .block import TBlock
+
+__all__ = ["TSampler"]
+
+
+class TSampler:
+    """Parallel temporal neighborhood sampler.
+
+    Args:
+        num_nbrs: maximum neighbors sampled per destination pair.
+        strategy: ``'recent'`` or ``'uniform'``.
+        seed: RNG seed for the uniform strategy (deterministic sampling).
+    """
+
+    def __init__(self, num_nbrs: int, strategy: str = "recent", seed: int = 0):
+        if num_nbrs <= 0:
+            raise ValueError("num_nbrs must be positive")
+        if strategy not in ("recent", "uniform"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        self.num_nbrs = num_nbrs
+        self.strategy = strategy
+        self._rng = fork_generator(seed)
+
+    def sample(self, block: TBlock) -> TBlock:
+        """Fill *block* with sampled neighbor rows and return it."""
+        nbr, eid, ets, dstidx = self.sample_arrays(
+            block.g.csr(), block.dstnodes, block.dsttimes
+        )
+        block.set_nbrs(nbr, eid, ets, dstidx)
+        return block
+
+    def sample_arrays(
+        self,
+        csr,
+        nodes: np.ndarray,
+        times: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Core sampling kernel on raw arrays.
+
+        Returns ``(srcnodes, eids, etimes, dstindex)`` flat row arrays.
+        Destinations with no earlier edges simply contribute zero rows.
+        """
+        indptr, indices, eids, etimes = csr.indptr, csr.indices, csr.eids, csr.etimes
+        k = self.num_nbrs
+        n = len(nodes)
+        counts = np.empty(n, dtype=np.int64)
+        cuts = np.empty(n, dtype=np.int64)
+        los = indptr[nodes]
+        his = indptr[nodes + 1]
+        for i in range(n):
+            lo, hi = los[i], his[i]
+            cut = lo + np.searchsorted(etimes[lo:hi], times[i], side="left")
+            cuts[i] = cut
+            counts[i] = min(cut - lo, k)
+        total = int(counts.sum())
+        out_nbr = np.empty(total, dtype=np.int64)
+        out_eid = np.empty(total, dtype=np.int64)
+        out_ets = np.empty(total, dtype=np.float64)
+        out_idx = np.empty(total, dtype=np.int64)
+        pos = 0
+        if self.strategy == "recent":
+            for i in range(n):
+                c = counts[i]
+                if c == 0:
+                    continue
+                cut = cuts[i]
+                sel = slice(cut - c, cut)
+                out_nbr[pos : pos + c] = indices[sel]
+                out_eid[pos : pos + c] = eids[sel]
+                out_ets[pos : pos + c] = etimes[sel]
+                out_idx[pos : pos + c] = i
+                pos += c
+        else:
+            rng = self._rng
+            for i in range(n):
+                c = counts[i]
+                if c == 0:
+                    continue
+                lo, cut = los[i], cuts[i]
+                avail = cut - lo
+                if avail <= c:
+                    chosen = np.arange(lo, cut)
+                else:
+                    chosen = lo + rng.choice(avail, size=c, replace=False)
+                    chosen.sort()
+                out_nbr[pos : pos + c] = indices[chosen]
+                out_eid[pos : pos + c] = eids[chosen]
+                out_ets[pos : pos + c] = etimes[chosen]
+                out_idx[pos : pos + c] = i
+                pos += c
+        return out_nbr, out_eid, out_ets, out_idx
+
+    def __repr__(self) -> str:
+        return f"TSampler(num_nbrs={self.num_nbrs}, strategy='{self.strategy}')"

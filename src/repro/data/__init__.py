@@ -1,0 +1,30 @@
+"""Datasets: synthetic CTDG generators, container, splits, and negatives."""
+
+from .analysis import WorkloadProfile, batch_duplication_ratio, profile_dataset
+from .dataset import TemporalDataset, available_datasets, get_dataset
+from .negative import NegativeSampler
+from .split import InductiveSplit, inductive_split
+from .synthetic import (
+    DATASETS,
+    GeneratorSpec,
+    generate_edges,
+    generate_features,
+    generate_labels,
+)
+
+__all__ = [
+    "TemporalDataset",
+    "WorkloadProfile",
+    "batch_duplication_ratio",
+    "profile_dataset",
+    "available_datasets",
+    "get_dataset",
+    "NegativeSampler",
+    "InductiveSplit",
+    "inductive_split",
+    "DATASETS",
+    "GeneratorSpec",
+    "generate_edges",
+    "generate_features",
+    "generate_labels",
+]

@@ -1,0 +1,48 @@
+"""Negative-edge sampling for link-prediction training and evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler:
+    """Sample negative destination nodes for link prediction.
+
+    For bipartite graphs, negatives are drawn from the item partition
+    (matching the JODIE/TGL protocol); otherwise from all nodes.
+
+    Args:
+        candidates: node ids negatives are drawn from.
+        seed: RNG seed; the stream is deterministic, so re-creating a
+            sampler with the same seed replays identical negatives (used to
+            score different frameworks on identical batches).
+    """
+
+    def __init__(self, candidates: np.ndarray, seed: int = 42):
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if len(candidates) == 0:
+            raise ValueError("need at least one negative candidate")
+        self.candidates = candidates
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def for_dataset(cls, dataset, seed: int = 42) -> "NegativeSampler":
+        """Build a sampler with the right candidate set for *dataset*."""
+        partition = dataset.bipartite_partition()
+        if partition is not None:
+            return cls(partition[1], seed=seed)
+        return cls(np.arange(dataset.num_nodes, dtype=np.int64), seed=seed)
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw *n* negative node ids (with replacement)."""
+        idx = self._rng.integers(0, len(self.candidates), size=n)
+        return self.candidates[idx]
+
+    def reset(self) -> None:
+        """Restart the deterministic stream (e.g. before each epoch)."""
+        self._rng = np.random.default_rng(self.seed)

@@ -1,0 +1,5 @@
+"""Simulated distributed training extensions (paper §7 future work)."""
+
+from .data_parallel import ShardResult, SimulatedDataParallel, StepResult
+
+__all__ = ["ShardResult", "SimulatedDataParallel", "StepResult"]

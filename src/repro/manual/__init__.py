@@ -1,0 +1,14 @@
+"""Pre-framework baseline: TGAT written as self-contained application code.
+
+Reproduces the paper's Listing 1 — the manual implementation style TGLite
+exists to replace: ad-hoc data structures, recursive message flow, and
+hand-threaded optimization bookkeeping.  Used by the tests to verify that
+the framework abstractions are computation-preserving, and by the docs to
+quantify the programmability gap.
+"""
+
+from .neighbor_finder import NeighborFinder
+from .optimizer import ManualOptimizer
+from .tgat import ManualAttnLayer, ManualTGAT
+
+__all__ = ["NeighborFinder", "ManualOptimizer", "ManualAttnLayer", "ManualTGAT"]

@@ -1,0 +1,79 @@
+"""The ad-hoc NeighborFinder of the paper's Listing 1 (region E).
+
+Before frameworks, every TGNN implementation carried a one-off data
+structure for temporal adjacency and sampling — "implementations often
+have one-off data structures (e.g. NeighborFinder) that has to be repeated
+for other implementations and projects" (§3.1).  This module reproduces
+that style: a self-contained class that builds its own per-node sorted
+adjacency lists from raw edge arrays and exposes a ``sample_recent``
+method, independent of (and redundant with) the framework's TGraph/CSR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["NeighborFinder"]
+
+
+class NeighborFinder:
+    """One-off temporal adjacency + most-recent sampling (Listing 1, E).
+
+    Args:
+        src, dst, ts: raw temporal edge arrays (any order).
+        num_nodes: node count.
+    """
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, ts: np.ndarray, num_nodes: int):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        eids = np.arange(len(src), dtype=np.int64)
+        # Build per-node time-sorted incidence lists the hand-rolled way.
+        self.nbr_list: List[np.ndarray] = []
+        self.eid_list: List[np.ndarray] = []
+        self.ts_list: List[np.ndarray] = []
+        endpoints = np.concatenate([src, dst])
+        partners = np.concatenate([dst, src])
+        all_eids = np.concatenate([eids, eids])
+        all_ts = np.concatenate([ts, ts])
+        order = np.lexsort((all_ts, endpoints))
+        endpoints = endpoints[order]
+        partners = partners[order]
+        all_eids = all_eids[order]
+        all_ts = all_ts[order]
+        bounds = np.searchsorted(endpoints, np.arange(num_nodes + 1))
+        for v in range(num_nodes):
+            lo, hi = bounds[v], bounds[v + 1]
+            self.nbr_list.append(partners[lo:hi])
+            self.eid_list.append(all_eids[lo:hi])
+            self.ts_list.append(all_ts[lo:hi])
+
+    def sample_recent(
+        self, n_nbr: int, nids: np.ndarray, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Most-recent temporal sampling with fixed-size zero padding.
+
+        Returns padded ``(nbrs, eids, nbr_ts, mask)`` arrays of shape
+        ``(len(nids), n_nbr)`` — the layout Listing 1's recursive
+        ``embeds()`` consumes.
+        """
+        n = len(nids)
+        nbrs = np.zeros((n, n_nbr), dtype=np.int64)
+        eids = np.zeros((n, n_nbr), dtype=np.int64)
+        nbr_ts = np.zeros((n, n_nbr), dtype=np.float64)
+        mask = np.zeros((n, n_nbr), dtype=bool)
+        for i in range(n):
+            node_ts = self.ts_list[nids[i]]
+            cut = np.searchsorted(node_ts, times[i], side="left")
+            take = min(cut, n_nbr)
+            if take == 0:
+                continue
+            sel = slice(cut - take, cut)
+            nbrs[i, :take] = self.nbr_list[nids[i]][sel]
+            eids[i, :take] = self.eid_list[nids[i]][sel]
+            nbr_ts[i, :take] = node_ts[sel]
+            mask[i, :take] = True
+        return nbrs, eids, nbr_ts, mask

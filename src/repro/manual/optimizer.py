@@ -1,0 +1,107 @@
+"""The hand-rolled optimization helper of Listing 1 (regions A, C, F).
+
+In the pre-framework world, redundancy-aware optimizations are applied by
+an application-level ``Optimizer`` class the programmer has to thread
+through the model: explicit ``dedup_filter``/``dedup_invert`` pairs, manual
+``cache_lookup``/``cache_store`` bookkeeping, and a hand-managed
+precomputed-time table.  (In the paper these call into a C++ extension; in
+this substrate they call the same numpy kernels TGLite uses — the point of
+the comparison is the *programming model*, not the kernel.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.op.dedup import unique_node_times
+from ..nn import TimeEncode
+
+__all__ = ["ManualOptimizer"]
+
+
+class ManualOptimizer:
+    """Application-managed dedup/cache/time-precompute (Listing 1, C)."""
+
+    def __init__(self, cache_capacity: int = 20000):
+        self.cache_capacity = cache_capacity
+        self._cache: Dict[int, Dict[Tuple[int, float], np.ndarray]] = {}
+        self._time_tables: Dict[int, Dict[float, np.ndarray]] = {}
+        self.enabled_dedup = True
+        self.enabled_cache = True
+        self.enabled_time = True
+
+    # ---- dedup: explicit filter + invert pair the caller must match ---------
+
+    def dedup_filter(self, nids: np.ndarray, times: np.ndarray):
+        """Shrink to unique (node, time) pairs; caller keeps the inverse."""
+        if not self.enabled_dedup:
+            return nids, times, None
+        un, ut, inv = unique_node_times(nids, times)
+        if len(un) == len(nids):
+            return nids, times, None
+        return un, ut, inv
+
+    @staticmethod
+    def dedup_invert(embs, inv: Optional[np.ndarray]):
+        """Re-expand outputs; forgetting this call silently corrupts results
+        (the failure mode hooks exist to prevent)."""
+        if inv is None:
+            return embs
+        return embs[inv]
+
+    # ---- cache: manual hit/miss bookkeeping (Listing 1, region C) -------------
+
+    def cache_lookup(self, layer: int, nids: np.ndarray, times: np.ndarray):
+        """Returns ``(hit_mask, rows)``; rows is None when nothing cached."""
+        if not self.enabled_cache:
+            return np.zeros(len(nids), dtype=bool), None
+        store = self._cache.setdefault(layer, {})
+        hit = np.zeros(len(nids), dtype=bool)
+        rows = None
+        for i in range(len(nids)):
+            entry = store.get((int(nids[i]), float(times[i])))
+            if entry is not None:
+                if rows is None:
+                    rows = np.zeros((len(nids), entry.shape[0]), dtype=np.float32)
+                rows[i] = entry
+                hit[i] = True
+        return hit, rows
+
+    def cache_store(self, layer: int, embs: np.ndarray, nids: np.ndarray, times: np.ndarray) -> None:
+        if not self.enabled_cache:
+            return
+        store = self._cache.setdefault(layer, {})
+        for i in range(len(nids)):
+            if len(store) >= self.cache_capacity:
+                store.pop(next(iter(store)))
+            store[(int(nids[i]), float(times[i]))] = np.asarray(embs[i], dtype=np.float32)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ---- time precomputation (Listing 1, region I + E) --------------------------
+
+    def time_embs(self, encoder: TimeEncode, deltas: np.ndarray) -> np.ndarray:
+        """Encode deltas through a manually managed per-encoder table."""
+        deltas = np.asarray(deltas, dtype=np.float32).reshape(-1)
+        if not self.enabled_time:
+            return encoder.encode_raw(deltas)
+        table = self._time_tables.setdefault(id(encoder), {})
+        uniq = np.unique(deltas)
+        missing = [v for v in uniq if float(v) not in table]
+        if missing:
+            encoded = encoder.encode_raw(np.asarray(missing, dtype=np.float32))
+            for value, row in zip(missing, encoded):
+                table[float(value)] = row
+        return np.stack([table[float(v)] for v in deltas])
+
+    def time_zeros(self, encoder: TimeEncode, n: int) -> np.ndarray:
+        """Phi(0) tiled n times, via the same manual table."""
+        return self.time_embs(encoder, np.zeros(n, dtype=np.float32))
+
+    def invalidate_time_tables(self) -> None:
+        """Must be called by the *application* after every weight update —
+        another piece of bookkeeping TGLite's version counter automates."""
+        self._time_tables.clear()

@@ -1,0 +1,193 @@
+"""TGAT implemented the pre-framework way (the paper's Listing 1).
+
+This is the motivating counter-example of §3.1: a self-contained TGAT
+whose every concern — temporal adjacency, recursive message flow, manual
+dedup filter/invert pairs, manual cache hit/miss bookkeeping, manual time
+tables, dense masked attention — is application code.  It produces the
+same math as :class:`repro.models.TGAT` (verified by tests), but look at
+what the programmer has to carry:
+
+* a one-off :class:`~repro.manual.neighbor_finder.NeighborFinder`;
+* a recursive ``compute``/``embeds`` pair where dedup/caching pre/post
+  steps must be manually matched (region A/C of Listing 1);
+* explicit time-feature orchestration (region E);
+* the intricate padded bmm + masked-softmax attention (region H);
+* remembering to invalidate time tables after each weight update.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Dropout, LayerNorm, Linear, Module, ModuleList, TimeEncode
+from ..models.predictor import EdgePredictor
+from ..tensor import Tensor, cat, index_put, is_grad_enabled
+from .neighbor_finder import NeighborFinder
+from .optimizer import ManualOptimizer
+
+__all__ = ["ManualTGAT", "ManualAttnLayer"]
+
+
+class ManualAttnLayer(Module):
+    """Dense padded temporal attention (Listing 1, region H)."""
+
+    def __init__(self, num_heads, dim_node, dim_edge, dim_time, dim_out, dropout=0.0):
+        super().__init__()
+        if dim_out % num_heads != 0:
+            raise ValueError("dim_out must be divisible by num_heads")
+        self.num_heads = num_heads
+        self.dim_out = dim_out
+        self.dim_edge = dim_edge
+        self.time_encoder = TimeEncode(dim_time)
+        self.w_q = Linear(dim_node + dim_time, dim_out)
+        self.w_k = Linear(dim_node + dim_edge + dim_time, dim_out)
+        self.w_v = Linear(dim_node + dim_edge + dim_time, dim_out)
+        self.w_out = Linear(dim_node + dim_out, dim_out)
+        self.layer_norm = LayerNorm(dim_out)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, feat, tfeat, nbr_ft, nbr_e, nbr_t, mask) -> Tensor:
+        n, k = mask.shape
+        zq = cat([feat, tfeat], dim=1)
+        if nbr_e is not None and self.dim_edge:
+            zk = cat([nbr_ft, nbr_e, nbr_t], dim=2)
+        else:
+            zk = cat([nbr_ft, nbr_t], dim=2)
+        heads, d_head = self.num_heads, self.dim_out // self.num_heads
+        q = self.w_q(zq).reshape(n, 1, heads, d_head)
+        key = self.w_k(zk).reshape(n, k, heads, d_head)
+        value = self.w_v(zk).reshape(n, k, heads, d_head)
+        attn = (q * key).sum(dim=3) * (1.0 / math.sqrt(d_head))
+        attn = attn.masked_fill(~mask[:, :, None], -1e10)
+        attn = attn.softmax(dim=1)
+        attn = attn * Tensor(mask[:, :, None].astype(np.float32), device=feat.device)
+        out = (value * attn.unsqueeze(3)).sum(dim=1).reshape(n, self.dim_out)
+        out = self.w_out(cat([out, feat], dim=1))
+        return self.layer_norm(self.dropout(out.relu()))
+
+
+class ManualTGAT(Module):
+    """Listing-1-style TGAT over raw arrays (no framework objects).
+
+    Args:
+        src/dst/ts: raw temporal edge arrays.
+        nfeat/efeat: raw feature matrices (numpy).
+        num_nodes: node count.
+        remaining args mirror :class:`repro.models.TGAT`.
+    """
+
+    def __init__(
+        self,
+        src,
+        dst,
+        ts,
+        nfeat: np.ndarray,
+        efeat: Optional[np.ndarray],
+        num_nodes: int,
+        dim_time: int = 100,
+        dim_embed: int = 100,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        num_nbrs: int = 10,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.num_layers = num_layers
+        self.num_nbrs = num_nbrs
+        self.nfeat = nfeat
+        self.efeat = efeat
+        dim_node = nfeat.shape[1]
+        dim_edge = efeat.shape[1] if efeat is not None else 0
+        self.finder = NeighborFinder(src, dst, ts, num_nodes)  # region E
+        self.opt = ManualOptimizer()  # region C
+        layers = []
+        for i in range(num_layers):
+            layers.append(
+                ManualAttnLayer(
+                    num_heads,
+                    dim_node=dim_node if i == 0 else dim_embed,
+                    dim_edge=dim_edge,
+                    dim_time=dim_time,
+                    dim_out=dim_embed,
+                    dropout=dropout,
+                )
+            )
+        # layers[0] consumes raw features (the innermost recursion level).
+        self.layers = ModuleList(layers)
+        self.edge_predictor = EdgePredictor(dim_embed)
+
+    # ---- Listing 1 region A: dedup wrapper ------------------------------------
+
+    def compute(self, nids: np.ndarray, ts: np.ndarray, layer: int) -> Tensor:
+        nids2, ts2, inv = self.opt.dedup_filter(nids, ts)
+        embs = self.embeds(nids2, ts2, layer)
+        return ManualOptimizer.dedup_invert(embs, inv)
+
+    # ---- Listing 1 regions B/C/D: recursive embedding computation ---------------
+
+    def lookup_nfeats(self, nids: np.ndarray) -> Tensor:
+        return Tensor(self.nfeat[nids])
+
+    def _use_inference_opts(self) -> bool:
+        return not self.training and not is_grad_enabled()
+
+    def embeds(self, nids: np.ndarray, ts: np.ndarray, layer: int) -> Tensor:
+        if layer == 0:
+            return self.lookup_nfeats(nids)  # base case (region B)
+
+        attn = self.layers[layer - 1]
+        inference = self._use_inference_opts()
+        if inference:
+            hit, rows = self.opt.cache_lookup(layer, nids, ts)
+        else:
+            hit, rows = np.zeros(len(nids), dtype=bool), None
+        miss_idx = np.flatnonzero(~hit)
+        if len(miss_idx) == 0:
+            return Tensor(rows)
+        m_nids, m_ts = nids[miss_idx], ts[miss_idx]
+
+        # Sample temporal neighbors and recursively embed them (region D).
+        nbr, eids, nbr_ts, mask = self.finder.sample_recent(self.num_nbrs, m_nids, m_ts)
+        k = self.num_nbrs
+        nbr_ft = self.compute(nbr.reshape(-1), nbr_ts.reshape(-1), layer - 1)
+        nbr_ft = nbr_ft.reshape(len(m_nids), k, nbr_ft.shape[1])
+        feats = self.embeds(m_nids, m_ts, layer - 1)
+
+        # Time features, manually orchestrated (region E).
+        deltas = (m_ts[:, None] - nbr_ts) * mask
+        if inference:
+            nbr_tf = Tensor(self.opt.time_embs(attn.time_encoder, deltas.reshape(-1)))
+            tf = Tensor(self.opt.time_zeros(attn.time_encoder, len(m_nids)))
+        else:
+            nbr_tf = attn.time_encoder(Tensor(deltas.reshape(-1).astype(np.float32)))
+            tf = attn.time_encoder(Tensor(np.zeros(len(m_nids), dtype=np.float32)))
+        nbr_tf = nbr_tf.reshape(len(m_nids), k, nbr_tf.shape[1])
+
+        nbr_e = None
+        if self.efeat is not None:
+            nbr_e = Tensor(self.efeat[eids.reshape(-1)]).reshape(
+                len(m_nids), k, self.efeat.shape[1]
+            ) * Tensor(mask[:, :, None].astype(np.float32))
+
+        res = attn(feats, tf, nbr_ft, nbr_e, nbr_tf, mask)
+        if inference:
+            self.opt.cache_store(layer, res.data, m_nids, m_ts)
+        if len(miss_idx) == len(nids):
+            return res
+        full = Tensor(rows)
+        return index_put(full, miss_idx, res)
+
+    # ---- trainer-facing interface ------------------------------------------------
+
+    def reset_state(self) -> None:
+        self.opt.clear_cache()
+        self.opt.invalidate_time_tables()
+
+    def forward(self, batch):
+        nids = batch.nodes()
+        ts = batch.times()
+        embeds = self.compute(nids, ts, self.num_layers)
+        return self.edge_predictor.score_batch(embeds, len(batch))

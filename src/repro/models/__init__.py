@@ -1,0 +1,30 @@
+"""TGLite-based implementations of the four TGNN models from the paper.
+
+* :class:`TGAT` — time-encoding + multi-hop temporal attention.
+* :class:`TGN` — TGAT-style attention combined with GRU node memory.
+* :class:`JODIE` — RNN memory with time-projected embeddings (no sampling).
+* :class:`APAN` — mailbox attention with asynchronous push propagation.
+
+All models share the :class:`EdgePredictor` head and the
+:class:`OptFlags` switchboard selecting which TGLite optimization
+operators (``dedup``/``cache``/``preload``/time precompute) are applied.
+"""
+
+from .apan import APAN
+from .attention import TemporalAttnLayer
+from .base import OptFlags, TGNNModel
+from .jodie import JODIE
+from .predictor import EdgePredictor
+from .tgat import TGAT
+from .tgn import TGN
+
+__all__ = [
+    "APAN",
+    "JODIE",
+    "TGAT",
+    "TGN",
+    "TGNNModel",
+    "OptFlags",
+    "EdgePredictor",
+    "TemporalAttnLayer",
+]

@@ -1,0 +1,117 @@
+"""Temporal multi-head attention layer over a TBlock (Eqs. 4-7).
+
+The layer expresses TGAT's temporal self-attention "edge-wise": per source
+row it computes an attention score against the row's destination query,
+normalizes with :func:`~repro.core.op.edge_softmax` within each
+destination's neighbor group, and reduces weighted values with
+:func:`~repro.core.op.edge_reduce` — the natural TBlock formulation the
+paper contrasts against batched-matmul/masked-softmax gymnastics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import TBlock, TContext
+from ..core import op as tgop
+from ..nn import Dropout, LayerNorm, Linear, Module, TimeEncode
+from ..tensor import Tensor, cat
+
+__all__ = ["TemporalAttnLayer"]
+
+
+class TemporalAttnLayer(Module):
+    """One hop of temporal attention aggregation.
+
+    Args:
+        ctx: TGLite context (placement + precompute scratch).
+        num_heads: attention heads.
+        dim_node: width of the incoming ``dstdata['h']``/``srcdata['h']``.
+        dim_edge: edge feature width (0 if the graph has none).
+        dim_time: time-encoding width.
+        dim_out: output embedding width.
+        dropout: dropout on the output.
+        opt_time_precompute: when True, query time vectors from the
+            context's precomputed tables in inference mode (the paper's
+            ``precomputed_zeros``/``precomputed_times`` operators);
+            when False, always encode through the TimeEncode module.
+    """
+
+    def __init__(
+        self,
+        ctx: TContext,
+        num_heads: int,
+        dim_node: int,
+        dim_edge: int,
+        dim_time: int,
+        dim_out: int,
+        dropout: float = 0.1,
+        opt_time_precompute: bool = False,
+    ):
+        super().__init__()
+        if dim_out % num_heads != 0:
+            raise ValueError("dim_out must be divisible by num_heads")
+        self.ctx = ctx
+        self.num_heads = num_heads
+        self.dim_node = dim_node
+        self.dim_time = dim_time
+        self.dim_out = dim_out
+        self.opt_time_precompute = opt_time_precompute
+        self.time_encoder = TimeEncode(dim_time)
+        self.w_q = Linear(dim_node + dim_time, dim_out)
+        self.w_k = Linear(dim_node + dim_edge + dim_time, dim_out)
+        self.w_v = Linear(dim_node + dim_edge + dim_time, dim_out)
+        self.w_out = Linear(dim_node + dim_out, dim_out)
+        self.layer_norm = LayerNorm(dim_out)
+        self.dropout = Dropout(dropout)
+
+    def _zero_time(self, n: int) -> Tensor:
+        if self.opt_time_precompute:
+            return tgop.precomputed_zeros(self.ctx, self.time_encoder, n)
+        return self.time_encoder(Tensor(np.zeros(n, dtype=np.float32), device=self.ctx.device))
+
+    def _nbr_time(self, deltas: np.ndarray) -> Tensor:
+        if self.opt_time_precompute:
+            return tgop.precomputed_times(self.ctx, self.time_encoder, deltas)
+        return self.time_encoder(Tensor(deltas.astype(np.float32), device=self.ctx.device))
+
+    def forward(self, blk: TBlock) -> Tensor:
+        """Compute destination embeddings ``(num_dst, dim_out)`` for *blk*."""
+        h_dst = blk.dstdata["h"]
+        if blk.num_src == 0:
+            # No temporal neighbors anywhere: output reduces to the FFN of
+            # the destination features with a zero aggregate.
+            zeros = Tensor(
+                np.zeros((blk.num_dst, self.dim_out), dtype=np.float32),
+                device=self.ctx.device,
+            )
+            out = self.w_out(cat([zeros, h_dst], dim=1))
+            return self.layer_norm(self.dropout(out.relu()))
+
+        h_src = blk.srcdata["h"]
+        tfeat_dst = self._zero_time(blk.num_dst)  # Phi(0), Eq. (4)
+        tfeat_src = self._nbr_time(blk.time_deltas())  # Phi(t - t_j), Eq. (5)
+
+        zq = cat([h_dst, tfeat_dst], dim=1)
+        if blk.g.efeat is not None:
+            zk = cat([h_src, blk.efeat(), tfeat_src], dim=1)
+        else:
+            zk = cat([h_src, tfeat_src], dim=1)
+
+        heads = self.num_heads
+        d_head = self.dim_out // heads
+        q = self.w_q(zq).reshape(blk.num_dst, heads, d_head)
+        k = self.w_k(zk).reshape(blk.num_src, heads, d_head)
+        v = self.w_v(zk).reshape(blk.num_src, heads, d_head)
+
+        # Edge-wise attention logits: dot(Q_dst, K_src) per head.
+        q_rows = q[blk.dstindex]  # (num_src, heads, d_head)
+        scores = (q_rows * k).sum(dim=2) * (1.0 / math.sqrt(d_head))
+        attn = tgop.edge_softmax(blk, scores)  # Eq. (6)
+        weighted = v * attn.unsqueeze(2)
+        reduced = tgop.edge_reduce(blk, weighted.reshape(blk.num_src, self.dim_out), op="sum")
+
+        out = self.w_out(cat([reduced, h_dst], dim=1))  # Eq. (7)
+        return self.layer_norm(self.dropout(out.relu()))

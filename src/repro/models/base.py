@@ -1,0 +1,110 @@
+"""Shared scaffolding for the TGLite-based model implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core import TBatch, TContext
+from ..nn import Module
+from ..tensor import Tensor
+from .predictor import EdgePredictor
+
+__all__ = ["OptFlags", "TGNNModel"]
+
+
+@dataclass
+class OptFlags:
+    """Which TGLite optimization operators a model applies.
+
+    Matches the paper's settings: ``TGLite`` = only ``preload`` (data
+    movement), ``TGLite+opt`` = all applicable operators, with ``cache``
+    and the precomputed-time operators taking effect at inference only
+    (the operators themselves are training-aware).
+    """
+
+    dedup: bool = False
+    cache: bool = False
+    time_precompute: bool = False
+    preload: bool = False
+    pin_memory: bool = True
+
+    @classmethod
+    def none(cls) -> "OptFlags":
+        """No optimization operators (pure baseline semantics)."""
+        return cls()
+
+    @classmethod
+    def preload_only(cls) -> "OptFlags":
+        """The paper's plain ``TGLite`` setting."""
+        return cls(preload=True)
+
+    @classmethod
+    def all(cls) -> "OptFlags":
+        """The paper's ``TGLite+opt`` setting."""
+        return cls(dedup=True, cache=True, time_precompute=True, preload=True)
+
+
+class TGNNModel(Module):
+    """Base class: holds the context, predictor, and scoring helper."""
+
+    def __init__(self, ctx: TContext, dim_embed: int, opt: Optional[OptFlags] = None):
+        super().__init__()
+        self.ctx = ctx
+        self.opt = opt if opt is not None else OptFlags.none()
+        self.edge_predictor = EdgePredictor(dim_embed)
+
+    @property
+    def g(self):
+        return self.ctx.graph
+
+    def fetch_rows(self, store: Tensor, idx) -> Tensor:
+        """Gather rows from a graph-level store onto the compute device.
+
+        Honors the ``preload`` optimization: host-resident rows are staged
+        through the context's pinned pool (pinned DMA bandwidth) instead of
+        paying pageable rates — the same data-movement policy TBlock
+        accessors apply under ``op.preload()``.
+        """
+        rows = store.data[idx]
+        if (
+            self.opt.preload
+            and self.opt.pin_memory
+            and store.device.is_cpu
+            and self.ctx.device.is_cuda
+        ):
+            return self.ctx.stage_pinned(rows).to(self.ctx.device)
+        return Tensor(rows, device=store.device).to(self.ctx.device)
+
+    def to_storage(self, tensor: Tensor, device) -> Tensor:
+        """Move a computed tensor back to a storage device (e.g. mailbox).
+
+        Device-to-host write-back goes through pinned staging when the
+        ``preload`` optimization is on.
+        """
+        pinned_route = self.opt.preload and self.opt.pin_memory
+        return tensor.to(device, via_pinned=pinned_route)
+
+    def train(self, mode: bool = True) -> "TGNNModel":
+        super().train(mode)
+        self.ctx.train(mode)
+        return self
+
+    def reset_state(self) -> None:
+        """Zero any persistent state (memory/mailbox) before an epoch."""
+        self.g.reset_state()
+        self.ctx.clear_embed_cache()
+
+    def compute_embeddings(self, batch: TBatch) -> Tensor:
+        """Embeddings for the batch's [src, dst, neg] targets."""
+        raise NotImplementedError
+
+    def forward(self, batch: TBatch) -> Tuple[Tensor, Tensor]:
+        """Positive and negative edge logits for a batch.
+
+        Requires ``batch.neg_nodes`` to be attached by the caller.
+        """
+        if batch.neg_nodes is None:
+            raise ValueError("batch has no negative samples attached")
+        embeds = self.compute_embeddings(batch)
+        return self.edge_predictor.score_batch(embeds, len(batch))

@@ -1,0 +1,78 @@
+"""Parameter initialization schemes (Xavier/Kaiming/constant)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.random import default_generator
+
+__all__ = [
+    "zeros_",
+    "ones_",
+    "constant_",
+    "uniform_",
+    "normal_",
+    "xavier_uniform_",
+    "xavier_normal_",
+    "kaiming_uniform_",
+]
+
+
+def _fan_in_out(tensor: Tensor):
+    shape = tensor.shape
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0] if shape else 1
+    else:
+        receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    tensor.data[...] = 0.0
+    return tensor
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    tensor.data[...] = 1.0
+    return tensor
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    tensor.data[...] = value
+    return tensor
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0) -> Tensor:
+    rng = default_generator()
+    tensor.data[...] = rng.uniform(low, high, size=tensor.shape).astype(tensor.dtype)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0) -> Tensor:
+    rng = default_generator()
+    tensor.data[...] = (mean + std * rng.standard_normal(tensor.shape)).astype(tensor.dtype)
+    return tensor
+
+
+def xavier_uniform_(tensor: Tensor, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fan_in_out(tensor)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(tensor, -bound, bound)
+
+
+def xavier_normal_(tensor: Tensor, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fan_in_out(tensor)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return normal_(tensor, 0.0, std)
+
+
+def kaiming_uniform_(tensor: Tensor, a: float = math.sqrt(5)) -> Tensor:
+    fan_in, _ = _fan_in_out(tensor)
+    gain = math.sqrt(2.0 / (1 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return uniform_(tensor, -bound, bound)

@@ -1,0 +1,52 @@
+"""Loss functions for link-prediction training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["BCEWithLogitsLoss", "MSELoss", "bce_with_logits"]
+
+
+def bce_with_logits(logits: Tensor, targets: Tensor, reduction: str = "mean") -> Tensor:
+    """Numerically-stable binary cross entropy on raw logits.
+
+    Uses the identity ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    zeros_clamped = logits.clamp(min=0.0)
+    loss = zeros_clamped - logits * targets + (1.0 + (-logits.abs()).exp()).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction: {reduction!r}")
+
+
+class BCEWithLogitsLoss(Module):
+    """Module wrapper over :func:`bce_with_logits`."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: Tensor) -> Tensor:
+        return bce_with_logits(logits, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        diff = pred - target
+        loss = diff * diff
+        if self.reduction == "mean":
+            return loss.mean()
+        if self.reduction == "sum":
+            return loss.sum()
+        return loss

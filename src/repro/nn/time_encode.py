@@ -1,0 +1,67 @@
+"""The TimeEncode module: Eq. (8) of the paper.
+
+``Phi(dt) = cos(omega * dt + phi)`` maps a scalar time delta to a
+``dim``-dimensional vector.  Following TGAT, the frequencies are initialized
+to a geometric progression ``1 / 10^(k * alpha)`` spanning several decades,
+and the bias starts at zero.  The module is trainable by default but can be
+frozen, which is what enables the paper's *time-precomputation* optimization
+(precomputed tables stay valid as long as the weights do not change; TGLite
+invalidates its tables when training updates them — see
+:mod:`repro.core.op.precompute`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+__all__ = ["TimeEncode"]
+
+
+class TimeEncode(Module):
+    """Cosine time encoder with geometric frequency init.
+
+    Args:
+        dim: dimensionality of the output time vector.
+        trainable: whether omega/phi receive gradients.
+    """
+
+    def __init__(self, dim: int, trainable: bool = True):
+        super().__init__()
+        self.dim = dim
+        freqs = 1.0 / (10.0 ** np.linspace(0.0, 9.0, dim, dtype=np.float32))
+        self.weight = Parameter(freqs, requires_grad=trainable)
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32), requires_grad=trainable)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever the weights change.
+
+        Precomputed-time caches key on this to stay semantically valid.
+        """
+        return self._version
+
+    def mark_updated(self) -> None:
+        """Signal that weight values changed (called after optimizer steps)."""
+        self._version += 1
+
+    def forward(self, deltas: Tensor) -> Tensor:
+        """Encode time deltas.
+
+        Args:
+            deltas: tensor of shape ``(N,)`` or ``(N, 1)`` of time deltas.
+
+        Returns:
+            tensor of shape ``(N, dim)``.
+        """
+        if deltas.ndim == 1:
+            deltas = deltas.unsqueeze(1)
+        return (deltas * self.weight + self.bias).cos()
+
+    def encode_raw(self, deltas: np.ndarray) -> np.ndarray:
+        """Non-autograd fast path for inference-time precomputation."""
+        deltas = np.asarray(deltas, dtype=np.float32).reshape(-1, 1)
+        return np.cos(deltas * self.weight.data + self.bias.data)

@@ -1,0 +1,30 @@
+"""Re-implementation of the TGL baseline framework (Zhou et al., VLDB'22).
+
+Structurally faithful to the properties the paper measures against:
+standalone padded MFGs with eager pageable device loading, a fused
+sample+delta step, the combined MailBox memory component with the
+unique/perm message scatter, and no CTDG-specific optimization operators.
+"""
+
+from .config import build_from_config, default_config, load_config
+from .memory import GRUMemoryUpdater, RNNMemoryUpdater, TGLMailBox, latest_unique_messages
+from .mfg import MFG
+from .models import TGLAPAN, TGLAttnLayer, TGLJODIE, TGLTGAT, TGLTGN
+from .sampler import TGLSampler
+
+__all__ = [
+    "MFG",
+    "build_from_config",
+    "default_config",
+    "load_config",
+    "TGLSampler",
+    "TGLMailBox",
+    "GRUMemoryUpdater",
+    "RNNMemoryUpdater",
+    "latest_unique_messages",
+    "TGLAPAN",
+    "TGLAttnLayer",
+    "TGLJODIE",
+    "TGLTGAT",
+    "TGLTGN",
+]

@@ -1,0 +1,9 @@
+"""TGL-baseline model implementations (MFG-based)."""
+
+from .apan import TGLAPAN
+from .attention import TGLAttnLayer
+from .jodie import TGLJODIE
+from .tgat import TGLTGAT
+from .tgn import TGLTGN
+
+__all__ = ["TGLAPAN", "TGLAttnLayer", "TGLJODIE", "TGLTGAT", "TGLTGN"]

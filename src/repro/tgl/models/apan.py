@@ -1,0 +1,150 @@
+"""APAN in the TGL framework style: mailbox attention + special-cased
+mail delivery inside the memory modules (the paper notes TGL handles
+APAN's propagation with dedicated code in its mailbox/memory classes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...core import TBatch
+from ...core.graph import TGraph
+from ...models.predictor import EdgePredictor
+from ...nn import GRUCell, Linear, Module, TimeEncode
+from ...tensor import Tensor, cat, no_grad
+from ...tensor.device import get_device
+from ..memory import TGLMailBox
+from ..sampler import TGLSampler
+
+__all__ = ["TGLAPAN"]
+
+
+class TGLAPAN(Module):
+    """TGL-baseline APAN: attention over mailbox slots, push delivery."""
+
+    def __init__(
+        self,
+        g: TGraph,
+        mailbox: TGLMailBox,
+        device=None,
+        dim_node: int = 0,
+        dim_edge: int = 0,
+        dim_time: int = 100,
+        dim_embed: int = 100,
+        dim_mem: int = 100,
+        num_heads: int = 2,
+        num_nbrs: int = 10,
+        sampling: str = "recent",
+    ):
+        super().__init__()
+        if dim_embed % num_heads != 0:
+            raise ValueError("dim_embed must be divisible by num_heads")
+        self.g = g
+        self.device = get_device(device)
+        self.mailbox = mailbox
+        self.dim_edge = dim_edge
+        self.dim_embed = dim_embed
+        self.num_heads = num_heads
+        self.sampler = TGLSampler(g, num_nbrs, sampling)
+        self.time_encoder = TimeEncode(dim_time)
+        self.w_q = Linear(dim_mem, dim_embed)
+        self.w_k = Linear(mailbox.dim_mail + dim_time, dim_embed)
+        self.w_v = Linear(mailbox.dim_mail + dim_time, dim_embed)
+        self.w_out = Linear(dim_mem + dim_embed, dim_embed)
+        self.gru_cell = GRUCell(mailbox.dim_mail + dim_time, dim_mem)
+        self.feat_linear = Linear(dim_node, dim_mem) if dim_node else None
+        self.edge_predictor = EdgePredictor(dim_embed)
+
+    def reset_state(self) -> None:
+        self.mailbox.reset()
+
+    # ---- embedding --------------------------------------------------------------
+
+    def compute_embeddings(self, batch: TBatch) -> Tensor:
+        nodes = batch.nodes()
+        times = batch.times()
+        mb = self.mailbox
+        mem = Tensor(mb.node_memory.data[nodes], device=mb.device).to(self.device)
+        if self.feat_linear is not None and self.g.nfeat is not None:
+            feat = Tensor(self.g.nfeat.data[nodes], device=self.g.nfeat.device).to(self.device)
+            mem = mem + self.feat_linear(feat)
+        mail = Tensor(mb.mailbox.data[nodes], device=mb.device).to(self.device)
+        mail_ts = mb.mailbox_ts[nodes]
+        deltas = times[:, None] - mail_ts
+        tfeat = self.time_encoder(
+            Tensor(deltas.reshape(-1).astype(np.float32), device=self.device)
+        ).reshape(len(nodes), mb.slots, -1)
+
+        n, slots = len(nodes), mb.slots
+        heads, d_head = self.num_heads, self.dim_embed // self.num_heads
+        kv_in = cat([mail, tfeat], dim=2)
+        q = self.w_q(mem).reshape(n, 1, heads, d_head)
+        k = self.w_k(kv_in).reshape(n, slots, heads, d_head)
+        v = self.w_v(kv_in).reshape(n, slots, heads, d_head)
+        scores = (q * k).sum(dim=3) * (1.0 / math.sqrt(d_head))
+        attn = scores.softmax(dim=1)
+        out = (v * attn.unsqueeze(3)).sum(dim=1).reshape(n, self.dim_embed)
+        return self.w_out(cat([mem, out], dim=1)).relu()
+
+    # ---- memory update & mail delivery ---------------------------------------------
+
+    def _update_memory(self, batch: TBatch) -> None:
+        nodes = np.unique(np.concatenate([batch.src, batch.dst]))
+        mb = self.mailbox
+        mail = Tensor(mb.mailbox.data[nodes], device=mb.device).to(self.device)
+        mail_mean = mail.mean(dim=1)
+        mail_ts = mb.mailbox_ts[nodes].max(axis=1)
+        delta = mail_ts - mb.node_memory_ts[nodes]
+        tfeat = self.time_encoder(Tensor(delta.astype(np.float32), device=self.device))
+        prev = Tensor(mb.node_memory.data[nodes], device=mb.device).to(self.device)
+        mem = self.gru_cell(cat([mail_mean, tfeat], dim=1), prev)
+        fresh = mail_ts > mb.node_memory_ts[nodes]
+        if fresh.any():
+            idx = np.flatnonzero(fresh)
+            mb.update_memory(nodes[idx], mem.detach()[idx], mail_ts[idx])
+
+    def _deliver_mails(self, batch: TBatch) -> None:
+        """Push batch mails to endpoints and their padded sampled neighbors."""
+        with no_grad():
+            mb = self.mailbox
+            mem = mb.node_memory.data
+            mem_src = Tensor(mem[batch.src], device=mb.device).to(self.device)
+            mem_dst = Tensor(mem[batch.dst], device=mb.device).to(self.device)
+            if self.g.efeat is not None and self.dim_edge:
+                ef = Tensor(self.g.efeat.data[batch.eids], device=self.g.efeat.device).to(self.device)
+                mail_s = cat([mem_src, mem_dst, ef], dim=1)
+                mail_d = cat([mem_dst, mem_src, ef], dim=1)
+            else:
+                mail_s = cat([mem_src, mem_dst], dim=1)
+                mail_d = cat([mem_dst, mem_src], dim=1)
+            mails = cat([mail_s, mail_d], dim=0)
+            endpoints = np.concatenate([batch.src, batch.dst])
+            ep_times = np.tile(batch.ts, 2).astype(np.float64)
+
+            mfg = self.sampler.sample_hop(self.device, endpoints, ep_times)
+            recv_nodes = np.concatenate([mfg.srcnodes, endpoints])
+            recv_rows = np.concatenate([mfg.dstindex, np.arange(len(endpoints))])
+            recv_ts = ep_times[recv_rows]
+
+            # The reduction happens host-side on the mailbox's device, so
+            # the computed mails cross back over a pageable transfer.
+            mails = mails.to(mb.device)
+
+            # Mean-reduce duplicate deliveries per receiving node.
+            uniq, inv = np.unique(recv_nodes, return_inverse=True)
+            sums = np.zeros((len(uniq), mails.shape[1]), dtype=np.float32)
+            np.add.at(sums, inv, mails.data[recv_rows])
+            counts = np.bincount(inv, minlength=len(uniq)).astype(np.float32)
+            mean_mail = sums / counts[:, None]
+            ts_sums = np.zeros(len(uniq))
+            np.add.at(ts_sums, inv, recv_ts)
+            mean_ts = ts_sums / counts
+            mb.update_mailbox(uniq, Tensor(mean_mail, device=mb.device), mean_ts)
+
+    def forward(self, batch: TBatch):
+        self._update_memory(batch)
+        embeds = self.compute_embeddings(batch)
+        self._deliver_mails(batch)
+        return self.edge_predictor.score_batch(embeds, len(batch))

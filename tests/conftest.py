@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro import tensor as T
+from repro.tensor.device import runtime
+
+
+@pytest.fixture(autouse=True)
+def _reset_runtime():
+    """Keep the global device runtime pristine across tests."""
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    T.manual_seed(1234)
+    yield
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference numeric gradient of a scalar-valued fn at x."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x.astype(np.float32))
+        flat[i] = orig - eps
+        minus = fn(x.astype(np.float32))
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(op, *shapes, seed=0, atol=2e-2, rtol=2e-2, positive=False):
+    """Compare autograd to numeric gradients for ``op(*tensors).sum()``.
+
+    Args:
+        op: function of Tensors returning a Tensor.
+        shapes: one shape per input tensor.
+        positive: draw inputs from (0.5, 1.5) to avoid non-smooth regions.
+    """
+    rng = np.random.default_rng(seed)
+    arrays = []
+    for shape in shapes:
+        if positive:
+            arrays.append(rng.uniform(0.5, 1.5, size=shape).astype(np.float32))
+        else:
+            arrays.append(rng.standard_normal(shape).astype(np.float32))
+
+    tensors = [T.Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    out.sum().backward()
+
+    for i, arr in enumerate(arrays):
+        def scalar_fn(x, i=i):
+            inputs = [T.Tensor(a.copy()) for a in arrays]
+            inputs[i] = T.Tensor(x)
+            return float(op(*inputs).sum().item())
+
+        expected = numeric_grad(scalar_fn, arr.copy())
+        actual = tensors[i].grad
+        assert actual is not None, f"input {i} got no gradient"
+        np.testing.assert_allclose(actual, expected, atol=atol, rtol=rtol)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 6-node, 10-edge temporal graph with features."""
+    src = np.array([0, 1, 2, 0, 3, 1, 4, 2, 5, 0])
+    dst = np.array([1, 2, 3, 2, 0, 0, 1, 5, 3, 4])
+    ts = np.arange(1.0, 11.0)
+    g = tg.TGraph(src, dst, ts, num_nodes=6)
+    rng = np.random.default_rng(0)
+    g.set_nfeat(rng.standard_normal((6, 4)).astype(np.float32))
+    g.set_efeat(rng.standard_normal((10, 3)).astype(np.float32))
+    return g
+
+
+@pytest.fixture
+def tiny_ctx(tiny_graph):
+    return tg.TContext(tiny_graph)

@@ -1,0 +1,71 @@
+"""Tests for the Figure-7 breakdown runner and experiment flag overrides."""
+
+import numpy as np
+import pytest
+
+from repro.bench.breakdown import run_tgat_breakdown
+from repro.bench.experiments import Experiment, ExperimentConfig
+from repro.models import OptFlags
+
+
+def small_cfg(framework, **kw):
+    return ExperimentConfig(
+        dataset="wiki", model="tgat", framework=framework, placement="gpu",
+        batch_size=400, num_nbrs=3, dim_time=8, dim_embed=8, **kw,
+    )
+
+
+class TestBreakdownRunner:
+    def test_tglite_stages_present(self):
+        totals = run_tgat_breakdown(small_cfg("tglite"), slice_edges=800)
+        for stage in ("batch_prep", "sample", "data_load", "time_zero",
+                      "time_nbrs", "attention", "pred_loss", "backward", "opt_step"):
+            assert stage in totals, stage
+            assert totals[stage] >= 0
+
+    def test_tgl_has_no_separate_time_stage(self):
+        totals = run_tgat_breakdown(small_cfg("tgl"), slice_edges=800)
+        assert "time_nbrs" not in totals
+        assert "time_zero" not in totals
+        assert totals["attention"] > 0
+
+    def test_attention_reported_exclusive_of_time_encoding(self):
+        totals = run_tgat_breakdown(small_cfg("tglite"), slice_edges=800)
+        # attention was reduced by nested time sections; all must be finite
+        # and non-negative after the subtraction.
+        assert totals["attention"] >= 0
+
+    def test_rejects_non_tgat_models(self):
+        cfg = ExperimentConfig(dataset="wiki", model="tgn", framework="tglite")
+        with pytest.raises(ValueError):
+            run_tgat_breakdown(cfg)
+
+    def test_patching_is_restored_after_run(self):
+        from repro.models.attention import TemporalAttnLayer
+
+        before = TemporalAttnLayer._zero_time
+        run_tgat_breakdown(small_cfg("tglite"), slice_edges=400)
+        assert TemporalAttnLayer._zero_time is before
+
+
+class TestOptFlagOverride:
+    def test_explicit_flags_override_framework_preset(self):
+        flags = OptFlags(dedup=True, cache=False, time_precompute=False, preload=False)
+        cfg = small_cfg("tglite", opt_flags=flags)
+        exp = Experiment(cfg)
+        try:
+            assert exp.model.opt is flags
+        finally:
+            exp.close()
+
+    def test_presets_used_without_override(self):
+        exp = Experiment(small_cfg("tglite+opt"))
+        try:
+            assert exp.model.opt.dedup and exp.model.opt.cache
+        finally:
+            exp.close()
+        exp = Experiment(small_cfg("tglite"))
+        try:
+            assert exp.model.opt.preload and not exp.model.opt.dedup
+        finally:
+            exp.close()

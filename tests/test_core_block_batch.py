@@ -1,0 +1,194 @@
+"""Tests for TBatch and TBlock: batching, linking, caches, hooks."""
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro import tensor as T
+from repro.tensor.device import runtime
+
+
+class TestBatching:
+    def test_iter_batches_covers_all_edges(self, tiny_graph):
+        batches = list(tg.iter_batches(tiny_graph, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert batches[0].start == 0 and batches[-1].stop == 10
+
+    def test_iter_batches_range(self, tiny_graph):
+        batches = list(tg.iter_batches(tiny_graph, 3, start=2, stop=8))
+        assert [(b.start, b.stop) for b in batches] == [(2, 5), (5, 8)]
+
+    def test_bad_batch_size(self, tiny_graph):
+        with pytest.raises(ValueError):
+            list(tg.iter_batches(tiny_graph, 0))
+
+    def test_batch_views_are_lazy_slices(self, tiny_graph):
+        b = tg.TBatch(tiny_graph, 2, 5)
+        np.testing.assert_array_equal(b.src, tiny_graph.src[2:5])
+        np.testing.assert_array_equal(b.eids, [2, 3, 4])
+        assert b.size == 3
+
+    def test_invalid_range_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tg.TBatch(tiny_graph, 5, 99)
+
+    def test_nodes_and_times_without_negatives(self, tiny_graph):
+        b = tg.TBatch(tiny_graph, 0, 2)
+        assert len(b.nodes()) == 4
+        np.testing.assert_allclose(b.times(), np.tile(b.ts, 2))
+
+    def test_nodes_with_negatives(self, tiny_graph):
+        b = tg.TBatch(tiny_graph, 0, 2, neg_nodes=np.array([5, 5]))
+        nodes = b.nodes()
+        assert len(nodes) == 6
+        np.testing.assert_array_equal(nodes[-2:], [5, 5])
+        assert len(b.times()) == 6
+
+    def test_block_head_layout(self, tiny_ctx, tiny_graph):
+        b = tg.TBatch(tiny_graph, 0, 3, neg_nodes=np.array([4, 4, 4]))
+        head = b.block(tiny_ctx)
+        assert head.num_dst == 9
+        assert head.layer_id == 0
+        assert not head.has_nbrs
+
+    def test_block_adj_two_rows_per_edge(self, tiny_ctx, tiny_graph):
+        b = tg.TBatch(tiny_graph, 0, 3)
+        blk = b.block_adj(tiny_ctx)
+        assert blk.num_dst == 6
+        assert blk.num_src == 6
+        # Each source row's node is the opposite endpoint of its dst row.
+        for i in range(6):
+            e = blk.eids[i]
+            pair = {tiny_graph.src[e], tiny_graph.dst[e]}
+            assert {blk.dstnodes[i], blk.srcnodes[i]} <= pair
+
+
+class TestBlockStructure:
+    def _sampled_block(self, ctx, g):
+        b = tg.TBatch(g, 4, 8)
+        head = b.block(ctx)
+        return tg.TSampler(3, "recent").sample(head)
+
+    def test_linking_via_next_block(self, tiny_ctx, tiny_graph):
+        head = self._sampled_block(tiny_ctx, tiny_graph)
+        nxt = head.next_block()
+        assert head.next is nxt and nxt.prev is head
+        assert nxt.layer_id == 1
+        assert nxt.num_dst == head.num_dst + head.num_src
+        assert head.tail() is nxt and nxt.head() is head
+        assert head.chain_length() == 2
+
+    def test_next_block_without_dst(self, tiny_ctx, tiny_graph):
+        head = self._sampled_block(tiny_ctx, tiny_graph)
+        nxt = head.next_block(include_dst=False)
+        assert nxt.num_dst == head.num_src
+
+    def test_next_block_requires_sampling(self, tiny_ctx, tiny_graph):
+        head = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        with pytest.raises(RuntimeError):
+            head.next_block()
+
+    def test_allnodes_layout(self, tiny_ctx, tiny_graph):
+        blk = self._sampled_block(tiny_ctx, tiny_graph)
+        nodes = blk.allnodes()
+        np.testing.assert_array_equal(nodes[: blk.num_dst], blk.dstnodes)
+        np.testing.assert_array_equal(nodes[blk.num_dst :], blk.srcnodes)
+        times = blk.alltimes()
+        np.testing.assert_allclose(times[: blk.num_dst], blk.dsttimes)
+
+    def test_time_deltas_nonnegative(self, tiny_ctx, tiny_graph):
+        blk = self._sampled_block(tiny_ctx, tiny_graph)
+        assert np.all(blk.time_deltas() >= 0)
+
+    def test_uniq_src_inverse(self, tiny_ctx, tiny_graph):
+        blk = self._sampled_block(tiny_ctx, tiny_graph)
+        uniq, inv = blk.uniq_src()
+        np.testing.assert_array_equal(uniq[inv], blk.srcnodes)
+
+    def test_set_dst_after_sampling_rejected(self, tiny_ctx, tiny_graph):
+        blk = self._sampled_block(tiny_ctx, tiny_graph)
+        with pytest.raises(RuntimeError):
+            blk.set_dst(np.array([0]), np.array([1.0]))
+
+    def test_set_nbrs_validates_lengths(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        with pytest.raises(ValueError):
+            blk.set_nbrs(np.array([0, 1]), np.array([0]), np.array([1.0]), np.array([0]))
+
+    def test_mismatched_dst_lengths_rejected(self, tiny_ctx):
+        with pytest.raises(ValueError):
+            tg.TBlock(tiny_ctx, 0, np.array([0, 1]), np.array([1.0]))
+
+
+class TestBlockDataAccess:
+    def test_feature_accessors_shapes(self, tiny_ctx, tiny_graph):
+        blk = tg.TSampler(2, "recent").sample(tg.TBatch(tiny_graph, 5, 9).block(tiny_ctx))
+        assert blk.dstfeat().shape == (blk.num_dst, 4)
+        assert blk.srcfeat().shape == (blk.num_src, 4)
+        assert blk.efeat().shape == (blk.num_src, 3)
+        assert blk.nfeat().shape == (blk.num_dst + blk.num_src, 4)
+
+    def test_feature_values_match_graph(self, tiny_ctx, tiny_graph):
+        blk = tg.TSampler(2, "recent").sample(tg.TBatch(tiny_graph, 5, 9).block(tiny_ctx))
+        np.testing.assert_allclose(blk.dstfeat().numpy(), tiny_graph.nfeat.data[blk.dstnodes])
+        np.testing.assert_allclose(blk.efeat().numpy(), tiny_graph.efeat.data[blk.eids])
+
+    def test_accessors_cached(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        assert blk.dstfeat() is blk.dstfeat()
+        blk.clear_cache()
+        # After a flush the data reloads gracefully.
+        assert blk.dstfeat().shape == (blk.num_dst, 4)
+
+    def test_missing_components_raise(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        with pytest.raises(RuntimeError):
+            blk.mem_data()
+        with pytest.raises(RuntimeError):
+            blk.mail()
+        with pytest.raises(RuntimeError):
+            blk.srcfeat()  # not sampled yet
+
+    def test_memory_accessors(self, tiny_ctx, tiny_graph):
+        tiny_graph.set_memory(6)
+        tiny_graph.set_mailbox(5)
+        blk = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        assert blk.mem_data().shape == (blk.num_dst, 6)
+        assert blk.mail().shape == (blk.num_dst, 5)
+        assert blk.mem_ts().shape == (blk.num_dst,)
+        assert blk.mail_ts().shape == (blk.num_dst,)
+
+    def test_gather_transfers_when_host_resident(self, tiny_graph):
+        ctx = tg.TContext(tiny_graph, device="cuda")
+        blk = tg.TBatch(tiny_graph, 0, 2).block(ctx)
+        before = runtime.transfer_stats.bytes
+        feat = blk.dstfeat()
+        assert feat.device.is_cuda
+        assert runtime.transfer_stats.bytes > before
+
+
+class TestHooks:
+    def test_hooks_run_lifo_and_clear(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        order = []
+
+        def hook_a(b, out):
+            order.append("a")
+            return out + 1
+
+        def hook_b(b, out):
+            order.append("b")
+            return out * 2
+
+        blk.register_hook(hook_a)
+        blk.register_hook(hook_b)
+        out = blk.run_hooks(T.tensor([1.0]))
+        assert order == ["b", "a"]
+        # LIFO: (1*2)+1 = 3.
+        np.testing.assert_allclose(out.numpy(), [3.0])
+        assert blk.hooks == ()
+
+    def test_run_hooks_empty_is_identity(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 2).block(tiny_ctx)
+        x = T.tensor([1.0])
+        assert blk.run_hooks(x) is x

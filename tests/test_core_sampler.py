@@ -1,0 +1,117 @@
+"""Tests for temporal neighborhood sampling (TSampler)."""
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+
+
+def build_star_graph(num_edges=20):
+    """Node 0 interacts with nodes 1..n at times 1..n."""
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.arange(1, num_edges + 1, dtype=np.int64)
+    ts = np.arange(1.0, num_edges + 1.0)
+    return tg.TGraph(src, dst, ts)
+
+
+class TestRecentSampling:
+    def test_takes_most_recent_k(self):
+        g = build_star_graph(20)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([100.0]))
+        tg.TSampler(5, "recent").sample(blk)
+        # Most recent 5 edges of node 0 before t=100 are times 16..20.
+        np.testing.assert_allclose(np.sort(blk.etimes), [16, 17, 18, 19, 20])
+
+    def test_strict_time_cutoff(self):
+        g = build_star_graph(10)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([5.0]))
+        tg.TSampler(10, "recent").sample(blk)
+        assert np.all(blk.etimes < 5.0)
+        np.testing.assert_allclose(np.sort(blk.etimes), [1, 2, 3, 4])
+
+    def test_node_with_no_history_gets_no_rows(self):
+        g = build_star_graph(5)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([3]), np.array([0.5]))
+        tg.TSampler(4, "recent").sample(blk)
+        assert blk.num_src == 0
+        assert blk.has_nbrs  # sampled, but empty
+
+    def test_dstindex_aligns_rows(self):
+        g = build_star_graph(10)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0, 1, 0]), np.array([4.0, 100.0, 8.0]))
+        tg.TSampler(3, "recent").sample(blk)
+        for row in range(blk.num_src):
+            d = blk.dstindex[row]
+            assert blk.etimes[row] < blk.dsttimes[d]
+
+    def test_eids_consistent_with_graph(self):
+        g = build_star_graph(10)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([11.0]))
+        tg.TSampler(3, "recent").sample(blk)
+        for row in range(blk.num_src):
+            e = blk.eids[row]
+            assert g.ts[e] == blk.etimes[row]
+            assert blk.srcnodes[row] in (g.src[e], g.dst[e])
+
+    def test_deterministic(self):
+        g = build_star_graph(10)
+        ctx = tg.TContext(g)
+        results = []
+        for _ in range(2):
+            blk = tg.TBlock(ctx, 0, np.array([0, 2]), np.array([9.0, 9.0]))
+            tg.TSampler(3, "recent").sample(blk)
+            results.append((blk.srcnodes.copy(), blk.eids.copy()))
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        np.testing.assert_array_equal(results[0][1], results[1][1])
+
+
+class TestUniformSampling:
+    def test_respects_time_and_count(self):
+        g = build_star_graph(20)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([15.0]))
+        tg.TSampler(5, "uniform", seed=3).sample(blk)
+        assert blk.num_src == 5
+        assert np.all(blk.etimes < 15.0)
+
+    def test_no_duplicate_rows_per_dst(self):
+        g = build_star_graph(20)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([21.0]))
+        tg.TSampler(8, "uniform", seed=1).sample(blk)
+        assert len(np.unique(blk.eids)) == 8
+
+    def test_takes_all_when_history_small(self):
+        g = build_star_graph(3)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([10.0]))
+        tg.TSampler(10, "uniform", seed=0).sample(blk)
+        assert blk.num_src == 3
+
+    def test_seeded_reproducibility(self):
+        g = build_star_graph(20)
+        ctx = tg.TContext(g)
+        picks = []
+        for _ in range(2):
+            blk = tg.TBlock(ctx, 0, np.array([0]), np.array([21.0]))
+            tg.TSampler(5, "uniform", seed=7).sample(blk)
+            picks.append(blk.eids.copy())
+        np.testing.assert_array_equal(picks[0], picks[1])
+
+
+class TestValidation:
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            tg.TSampler(5, "newest")
+
+    def test_bad_num_nbrs(self):
+        with pytest.raises(ValueError):
+            tg.TSampler(0)
+
+    def test_repr(self):
+        assert "recent" in repr(tg.TSampler(5, "recent"))

@@ -1,0 +1,139 @@
+"""Tests for the simulated data-parallel trainer."""
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro import nn
+from repro import tensor as T
+from repro.data import NegativeSampler, get_dataset
+from repro.distributed import SimulatedDataParallel, StepResult, ShardResult
+from repro.models import TGAT, OptFlags
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return get_dataset("wiki")
+
+
+def build_tgat(wiki, seed=33):
+    T.manual_seed(seed)
+    g = wiki.build_graph()
+    ctx = tg.TContext(g)
+    model = TGAT(ctx, dim_node=172, dim_edge=172, dim_time=8, dim_embed=8,
+                 num_layers=1, num_nbrs=3, dropout=0.0, opt=OptFlags.none())
+    return g, model
+
+
+class TestSharding:
+    def test_shards_cover_batch(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        dp = SimulatedDataParallel(model, opt, num_replicas=3)
+        batch = tg.TBatch(g, 100, 400)
+        ranges = dp._shard_ranges(batch)
+        assert ranges[0][0] == 100 and ranges[-1][1] == 400
+        for (a, b), (c, d) in zip(ranges[:-1], ranges[1:]):
+            assert b == c
+        assert sum(b - a for a, b in ranges) == 300
+
+    def test_more_replicas_than_edges(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        dp = SimulatedDataParallel(model, opt, num_replicas=8)
+        batch = tg.TBatch(g, 0, 3)
+        ranges = dp._shard_ranges(batch)
+        assert sum(b - a for a, b in ranges) == 3
+
+    def test_invalid_replicas(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        with pytest.raises(ValueError):
+            SimulatedDataParallel(model, opt, num_replicas=0)
+
+
+class TestCostModel:
+    def test_allreduce_zero_for_single_replica(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.SGD(model.parameters(), lr=0.1)
+        dp = SimulatedDataParallel(model, opt, num_replicas=1)
+        assert dp.allreduce_seconds() == 0.0
+
+    def test_allreduce_grows_with_replicas(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.SGD(model.parameters(), lr=0.1)
+        costs = [
+            SimulatedDataParallel(model, opt, num_replicas=n).allreduce_seconds()
+            for n in (2, 4, 8)
+        ]
+        assert costs[0] < costs[1] < costs[2]
+        # Ring all-reduce volume is bounded by 2x the parameter bytes.
+        param_bytes = sum(p.data.nbytes for p in model.parameters())
+        assert costs[-1] < 2 * param_bytes / 1.0e9 + 1e-12
+
+    def test_step_result_aggregation(self):
+        step = StepResult(
+            shards=[ShardResult(0, 10, 1.0, 2.0), ShardResult(1, 30, 3.0, 4.0)],
+            allreduce_seconds=0.5,
+        )
+        assert step.serial_seconds == 4.0
+        assert step.simulated_parallel_seconds == 3.5
+        assert step.loss == pytest.approx((2.0 * 10 + 4.0 * 30) / 40)
+
+
+class TestTraining:
+    def test_gradients_match_single_replica(self, wiki):
+        """N-replica synchronous SGD equals one big batch exactly."""
+        grads = {}
+        for replicas in (1, 3):
+            g, model = build_tgat(wiki, seed=44)
+            opt = nn.SGD(model.parameters(), lr=0.1)
+            dp = SimulatedDataParallel(model, opt, num_replicas=replicas)
+            batch = tg.TBatch(g, 300, 600)
+            neg = NegativeSampler.for_dataset(wiki, seed=5)
+            # Use identical negatives across shardings: pre-draw per edge.
+            fixed_negs = neg.sample(300)
+
+            class FixedSampler:
+                def __init__(self):
+                    self.cursor = 0
+
+                def sample(self, n):
+                    out = fixed_negs[self.cursor : self.cursor + n]
+                    self.cursor += n
+                    return out
+
+                def reset(self):
+                    self.cursor = 0
+
+            self_opt_grads = {}
+            dp.train_step(batch, FixedSampler())
+            # capture post-step... instead capture gradients pre-step:
+            # re-run to collect raw grads
+            grads[replicas] = {
+                name: p.data.copy() for name, p in model.named_parameters()
+            }
+        for key in grads[1]:
+            np.testing.assert_allclose(
+                grads[1][key], grads[3][key], atol=1e-4,
+                err_msg=f"parameter divergence for {key}",
+            )
+
+    def test_epoch_returns_times_and_loss(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        dp = SimulatedDataParallel(model, opt, num_replicas=2)
+        neg = NegativeSampler.for_dataset(wiki)
+        serial, parallel, loss = dp.train_epoch(g, neg, batch_size=300, stop=900)
+        assert serial > parallel > 0
+        assert np.isfinite(loss)
+
+    def test_scaling_efficiency_bounds(self, wiki):
+        g, model = build_tgat(wiki)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        dp = SimulatedDataParallel(model, opt, num_replicas=2)
+        neg = NegativeSampler.for_dataset(wiki)
+        batch = tg.TBatch(g, 100, 400)
+        step = dp.train_step(batch, neg)
+        eff = dp.scaling_efficiency(step)
+        assert 0.0 < eff <= 1.0 + 1e-9

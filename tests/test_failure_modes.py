@@ -1,0 +1,111 @@
+"""Failure-injection tests: clean errors on misuse and degenerate inputs."""
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro import nn
+from repro import tensor as T
+from repro.core import op as tgop
+from repro.data import NegativeSampler, get_dataset
+from repro.models import TGAT, TGN, OptFlags
+
+
+class TestGraphMisuse:
+    def test_featureless_graph_fails_cleanly_in_tgat(self):
+        g = tg.TGraph([0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+        ctx = tg.TContext(g)
+        model = TGAT(ctx, dim_node=4, dim_edge=4, dim_time=4, dim_embed=4,
+                     num_layers=1, num_nbrs=2)
+        batch = tg.TBatch(g, 0, 2, neg_nodes=np.array([2, 2]))
+        with pytest.raises(RuntimeError, match="node features"):
+            model(batch)
+
+    def test_tgn_without_memory_component(self):
+        ds = get_dataset("wiki")
+        g = ds.build_graph()  # no memory/mailbox attached
+        ctx = tg.TContext(g)
+        model = TGN(ctx, dim_node=172, dim_edge=172, dim_time=4, dim_embed=4,
+                    dim_mem=4, num_layers=1, num_nbrs=2)
+        batch = tg.TBatch(g, 0, 10, neg_nodes=np.zeros(10, dtype=np.int64))
+        with pytest.raises(RuntimeError, match="mailbox|memory"):
+            model(batch)
+
+    def test_sampling_on_out_of_range_node_fails(self):
+        g = tg.TGraph([0], [1], [1.0])
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([99]), np.array([1.0]))
+        with pytest.raises(IndexError):
+            tg.TSampler(2).sample(blk)
+
+
+class TestDegenerateStreams:
+    def test_all_edges_same_timestamp(self):
+        g = tg.TGraph([0, 1, 2], [1, 2, 0], [5.0, 5.0, 5.0])
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0, 1]), np.array([5.0, 5.0]))
+        tg.TSampler(3).sample(blk)
+        # Strictly-earlier rule: nothing visible at t == 5.
+        assert blk.num_src == 0
+
+    def test_single_edge_graph_trains(self):
+        g = tg.TGraph([0], [1], [1.0], num_nodes=3)
+        g.set_nfeat(np.ones((3, 4), dtype=np.float32))
+        g.set_efeat(np.ones((1, 2), dtype=np.float32))
+        ctx = tg.TContext(g)
+        model = TGAT(ctx, dim_node=4, dim_edge=2, dim_time=4, dim_embed=4,
+                     num_layers=1, num_nbrs=2)
+        batch = tg.TBatch(g, 0, 1, neg_nodes=np.array([2]))
+        pos, neg = model(batch)
+        loss = nn.bce_with_logits(pos, T.ones(1)) + nn.bce_with_logits(neg, T.zeros(1))
+        loss.backward()
+        assert np.isfinite(loss.item())
+
+    def test_batch_of_one_edge(self):
+        ds = get_dataset("wiki")
+        g = ds.build_graph()
+        ctx = tg.TContext(g)
+        model = TGAT(ctx, dim_node=172, dim_edge=172, dim_time=4, dim_embed=4,
+                     num_layers=2, num_nbrs=3, opt=OptFlags.all())
+        batch = tg.TBatch(g, 1000, 1001, neg_nodes=np.array([5]))
+        pos, neg = model(batch)
+        assert pos.shape == (1,) and neg.shape == (1,)
+
+    def test_first_batch_has_no_history(self):
+        """The very first chronological batch sees empty neighborhoods."""
+        ds = get_dataset("wiki")
+        g = ds.build_graph()
+        ctx = tg.TContext(g)
+        model = TGAT(ctx, dim_node=172, dim_edge=172, dim_time=4, dim_embed=4,
+                     num_layers=2, num_nbrs=3)
+        batch = tg.TBatch(g, 0, 5, neg_nodes=np.arange(5))
+        pos, neg = model(batch)
+        assert np.all(np.isfinite(pos.numpy()))
+
+
+class TestNumericalRobustness:
+    def test_extreme_time_deltas_stay_finite(self):
+        enc = nn.TimeEncode(8)
+        out = enc(T.tensor(np.array([0.0, 1e12, 1e-12], dtype=np.float32)))
+        assert np.all(np.isfinite(out.numpy()))
+
+    def test_training_on_huge_timestamps(self):
+        src = np.array([0, 1, 0, 1] * 20)
+        dst = np.array([1, 0, 1, 0] * 20)
+        ts = np.linspace(1e9, 1.2e9, 80)
+        g = tg.TGraph(src, dst, ts)
+        g.set_nfeat(np.random.default_rng(0).standard_normal((2, 4)).astype(np.float32))
+        g.set_efeat(np.random.default_rng(1).standard_normal((80, 2)).astype(np.float32))
+        ctx = tg.TContext(g)
+        model = TGAT(ctx, dim_node=4, dim_edge=2, dim_time=4, dim_embed=4,
+                     num_layers=1, num_nbrs=3)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        from repro.bench import train_epoch
+        sampler = NegativeSampler(np.array([0, 1]))
+        _, loss = train_epoch(model, g, opt, sampler, 20, stop=60)
+        assert np.isfinite(loss)
+
+    def test_segment_softmax_all_equal_scores(self):
+        scores = T.zeros(4)
+        out = T.segment_softmax(scores, np.array([0, 0, 0, 0]), 1)
+        np.testing.assert_allclose(out.numpy(), np.full(4, 0.25), rtol=1e-6)

@@ -1,0 +1,60 @@
+"""Tests for the inductive (unseen-node) evaluation split."""
+
+import numpy as np
+import pytest
+
+from repro.data import InductiveSplit, get_dataset, inductive_split
+
+
+@pytest.fixture(scope="module")
+def split():
+    return inductive_split(get_dataset("wiki"), unseen_fraction=0.1, seed=1)
+
+
+class TestConstruction:
+    def test_masks_partition_eval_window(self, split):
+        ds = get_dataset("wiki")
+        boundary = int(ds.num_edges * 0.70)
+        eval_count = ds.num_edges - boundary
+        total = split.test_transductive_mask.sum() + split.test_inductive_mask.sum()
+        assert total == eval_count
+        assert not (split.test_transductive_mask & split.test_inductive_mask).any()
+
+    def test_train_edges_avoid_unseen_nodes(self, split):
+        ds = get_dataset("wiki")
+        idx = np.flatnonzero(split.train_mask)
+        unseen = set(split.unseen_nodes.tolist())
+        for e in idx:
+            assert int(ds.src[e]) not in unseen
+            assert int(ds.dst[e]) not in unseen
+
+    def test_inductive_edges_touch_unseen(self, split):
+        ds = get_dataset("wiki")
+        unseen = set(split.unseen_nodes.tolist())
+        for e in np.flatnonzero(split.test_inductive_mask):
+            assert int(ds.src[e]) in unseen or int(ds.dst[e]) in unseen
+
+    def test_train_mask_inside_train_window(self, split):
+        ds = get_dataset("wiki")
+        boundary = int(ds.num_edges * 0.70)
+        assert not split.train_mask[boundary:].any()
+
+    def test_deterministic_per_seed(self):
+        ds = get_dataset("wiki")
+        a = inductive_split(ds, seed=3)
+        b = inductive_split(ds, seed=3)
+        np.testing.assert_array_equal(a.unseen_nodes, b.unseen_nodes)
+        c = inductive_split(ds, seed=4)
+        assert not np.array_equal(a.unseen_nodes, c.unseen_nodes)
+
+    def test_fraction_validation(self):
+        ds = get_dataset("wiki")
+        with pytest.raises(ValueError):
+            inductive_split(ds, unseen_fraction=0.0)
+        with pytest.raises(ValueError):
+            inductive_split(ds, unseen_fraction=1.0)
+
+    def test_summary_keys(self, split):
+        s = split.summary()
+        assert s["train edges"] == split.num_train_edges
+        assert s["test inductive"] > 0

@@ -1,0 +1,240 @@
+"""Numeric gradient checks and autograd-engine behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor, no_grad, enable_grad, is_grad_enabled
+
+from conftest import check_grad
+
+
+class TestNumericGradients:
+    """Each op's analytic gradient must match central differences."""
+
+    def test_add(self):
+        check_grad(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_sub(self):
+        check_grad(lambda a, b: a - b, (2, 3), (2, 3))
+
+    def test_mul_broadcast(self):
+        check_grad(lambda a, b: a * b, (2, 3), (1, 3))
+
+    def test_div(self):
+        check_grad(lambda a, b: a / b, (4,), (4,), positive=True)
+
+    def test_neg(self):
+        check_grad(lambda a: -a, (5,))
+
+    def test_pow(self):
+        check_grad(lambda a: a**3, (4,), positive=True)
+
+    def test_matmul(self):
+        check_grad(lambda a, b: a @ b, (3, 4), (4, 2))
+
+    def test_matmul_batched(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (2, 4, 2))
+
+    def test_matmul_nd_with_2d(self):
+        # The shared-weight fast path in backward.
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (4, 5))
+
+    def test_matvec(self):
+        check_grad(lambda a, b: a @ b, (3, 4), (4,))
+
+    def test_exp(self):
+        check_grad(lambda a: a.exp(), (4,))
+
+    def test_log(self):
+        check_grad(lambda a: a.log(), (4,), positive=True)
+
+    def test_sqrt(self):
+        check_grad(lambda a: a.sqrt(), (4,), positive=True)
+
+    def test_cos_sin(self):
+        check_grad(lambda a: a.cos(), (5,))
+        check_grad(lambda a: a.sin(), (5,))
+
+    def test_tanh_sigmoid(self):
+        check_grad(lambda a: a.tanh(), (5,))
+        check_grad(lambda a: a.sigmoid(), (5,))
+
+    def test_relu(self):
+        check_grad(lambda a: a.relu(), (6,), positive=True)
+
+    def test_leaky_relu(self):
+        check_grad(lambda a: a.leaky_relu(0.1), (6,), positive=True)
+
+    def test_abs(self):
+        check_grad(lambda a: a.abs(), (5,), positive=True)
+
+    def test_clamp(self):
+        check_grad(lambda a: a.clamp(min=0.6, max=1.4) * 2.0, (6,), positive=True, atol=5e-2)
+
+    def test_sum_dims(self):
+        check_grad(lambda a: a.sum(dim=1), (3, 4))
+        check_grad(lambda a: a.sum(dim=0, keepdim=True), (3, 4))
+
+    def test_mean_var(self):
+        check_grad(lambda a: a.mean(dim=1), (3, 4))
+        check_grad(lambda a: a.var(dim=1), (3, 4))
+
+    def test_max_global_and_dim(self):
+        check_grad(lambda a: a.max(), (7,))
+        check_grad(lambda a: a.max(dim=1)[0], (3, 4))
+
+    def test_reshape_transpose_permute(self):
+        check_grad(lambda a: a.reshape(6) * T.tensor(np.arange(6, dtype=np.float32)), (2, 3))
+        check_grad(lambda a: a.transpose(0, 1) @ a, (3, 4))
+        check_grad(lambda a: a.permute(1, 0).exp(), (2, 3))
+
+    def test_squeeze_unsqueeze_expand(self):
+        check_grad(lambda a: a.unsqueeze(1).expand(3, 4, 2).sin(), (3, 2))
+
+    def test_repeat_interleave(self):
+        check_grad(lambda a: a.repeat_interleave(3, dim=0).tanh(), (2, 2))
+
+    def test_cat(self):
+        check_grad(lambda a, b: T.cat([a, b], dim=0).sigmoid(), (2, 3), (4, 3))
+
+    def test_stack(self):
+        check_grad(lambda a, b: T.stack([a, b], dim=1).exp(), (3, 2), (3, 2))
+
+    def test_where(self):
+        mask = np.array([True, False, True, False])
+        check_grad(lambda a, b: T.where(mask, a, b) ** 2, (4,), (4,))
+
+    def test_maximum_minimum(self):
+        check_grad(lambda a, b: T.maximum(a, b) * 2.0, (5,), (5,))
+        check_grad(lambda a, b: T.minimum(a, b) * 2.0, (5,), (5,))
+
+    def test_getitem(self):
+        idx = np.array([2, 0, 2])
+        check_grad(lambda a: a[idx].exp(), (4, 2))
+
+    def test_index_select(self):
+        check_grad(lambda a: a.index_select(1, np.array([1, 1, 0])).tanh(), (2, 3))
+
+    def test_index_put(self):
+        idx = np.array([0, 2])
+        check_grad(lambda a, b: T.index_put(a, idx, b).sigmoid(), (4, 2), (2, 2))
+
+    def test_scatter_rows(self):
+        idx = np.array([0, 1, 0, 1])
+        check_grad(lambda v: T.scatter_rows(2, idx, v).exp(), (4, 3))
+
+    def test_masked_fill(self):
+        mask = np.array([False, True, False])
+        check_grad(lambda a: a.masked_fill(mask, 5.0).exp(), (3,))
+
+    def test_softmax(self):
+        check_grad(lambda a: a.softmax(dim=1) * T.tensor(np.arange(8, dtype=np.float32).reshape(2, 4)), (2, 4))
+
+    def test_log_softmax(self):
+        check_grad(lambda a: a.log_softmax(dim=1) * T.tensor(np.arange(8, dtype=np.float32).reshape(2, 4)), (2, 4))
+
+    def test_composite_expression(self):
+        check_grad(
+            lambda a, b: ((a @ b).relu().softmax(dim=1) * (a @ b).sigmoid()).mean(dim=0),
+            (4, 3),
+            (3, 5),
+        )
+
+
+class TestEngineBehaviour:
+    def test_backward_accumulates_on_leaves(self):
+        a = T.tensor([1.0, 2.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [5, 5])
+
+    def test_zero_grad(self):
+        a = T.tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must give dy/dx = 4x through shared subexpressions.
+        x = T.tensor([3.0], requires_grad=True)
+        sq = x * x
+        y = sq + sq
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_reused_tensor_many_paths(self):
+        x = T.tensor([2.0], requires_grad=True)
+        y = x * x * x  # x^3, dy/dx = 3x^2 = 12
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_backward_requires_scalar_or_seed(self):
+        a = T.randn(3, requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+        (a * 2).backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [2, 2, 2])
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        a = T.tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_seed_shape_mismatch_raises(self):
+        a = T.randn(3, requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward(np.ones(4, dtype=np.float32))
+
+    def test_no_grad_blocks_graph(self):
+        a = T.tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out.is_leaf
+
+    def test_no_grad_nesting_and_flag(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        a = T.tensor([1.0], requires_grad=True)
+        out = (a * 2).detach() * 3
+        assert not out.requires_grad
+
+    def test_clone_keeps_graph(self):
+        a = T.tensor([2.0], requires_grad=True)
+        a.clone().sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_to_device_keeps_graph(self):
+        a = T.tensor([2.0], requires_grad=True)
+        b = a.to("cuda") * 3
+        b.sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0])
+
+    def test_intermediate_grads_not_retained(self):
+        a = T.tensor([1.0], requires_grad=True)
+        mid = a * 2
+        out = mid * 3
+        out.sum().backward()
+        assert mid.grad is None
+        assert a.grad is not None
+
+    def test_astype_float_keeps_graph(self):
+        a = T.tensor([1.0], requires_grad=True)
+        a.astype(np.float64).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_grad_dtype_matches_leaf(self):
+        a = T.tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad.dtype == np.float32

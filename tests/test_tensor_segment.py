@@ -1,0 +1,101 @@
+"""Unit and gradient tests for the segmented kernels."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor.segment import (
+    segment_argmax_by_key,
+    segment_count,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+
+from conftest import check_grad
+
+IDS = np.array([0, 0, 1, 2, 2, 2])
+
+
+class TestForward:
+    def test_segment_count(self):
+        np.testing.assert_array_equal(segment_count(IDS, 4), [2, 1, 3, 0])
+
+    def test_segment_sum(self):
+        data = T.tensor(np.arange(6, dtype=np.float32).reshape(6, 1))
+        out = segment_sum(data, IDS, 4)
+        np.testing.assert_allclose(out.numpy(), [[1], [2], [12], [0]])
+
+    def test_segment_mean(self):
+        data = T.tensor(np.arange(6, dtype=np.float32).reshape(6, 1))
+        out = segment_mean(data, IDS, 4)
+        np.testing.assert_allclose(out.numpy(), [[0.5], [2], [4], [0]])
+
+    def test_segment_max(self):
+        data = T.tensor(np.array([3.0, 1.0, 7.0, 2.0, 9.0, 4.0]))
+        out = segment_max(data, IDS, 4)
+        np.testing.assert_allclose(out.numpy(), [3, 7, 9, 0])
+
+    def test_segment_max_empty_segment_is_zero(self):
+        out = segment_max(T.tensor([-5.0]), np.array([1]), 3)
+        np.testing.assert_allclose(out.numpy(), [0, -5, 0])
+
+    def test_segment_softmax_sums_to_one(self):
+        scores = T.randn(6)
+        out = segment_softmax(scores, IDS, 3).numpy()
+        assert abs(out[:2].sum() - 1) < 1e-5
+        assert abs(out[2] - 1) < 1e-5
+        assert abs(out[3:].sum() - 1) < 1e-5
+
+    def test_segment_softmax_multihead(self):
+        scores = T.randn(6, 4)
+        out = segment_softmax(scores, IDS, 3).numpy()
+        np.testing.assert_allclose(out[:2].sum(axis=0), np.ones(4), rtol=1e-5)
+        np.testing.assert_allclose(out[3:].sum(axis=0), np.ones(4), rtol=1e-5)
+
+    def test_segment_softmax_extreme_scores_stable(self):
+        scores = T.tensor([1000.0, -1000.0, 500.0])
+        out = segment_softmax(scores, np.array([0, 0, 1]), 2).numpy()
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [1, 0, 1], atol=1e-6)
+
+    def test_segment_ids_accept_tensor(self):
+        out = segment_sum(T.ones(3, 2), T.tensor([0, 0, 1], dtype=np.int64), 2)
+        np.testing.assert_allclose(out.numpy(), [[2, 2], [1, 1]])
+
+
+class TestGradients:
+    def test_segment_sum_grad(self):
+        check_grad(lambda d: segment_sum(d, IDS, 4).exp(), (6, 2))
+
+    def test_segment_mean_grad(self):
+        check_grad(lambda d: segment_mean(d, IDS, 4).exp(), (6, 2))
+
+    def test_segment_max_grad(self):
+        check_grad(lambda d: segment_max(d, IDS, 4) * 2.0, (6,))
+
+    def test_segment_softmax_grad(self):
+        weights = T.tensor(np.arange(6, dtype=np.float32))
+        check_grad(lambda s: segment_softmax(s, IDS, 3) * weights, (6,))
+
+    def test_segment_softmax_multihead_grad(self):
+        weights = T.tensor(np.arange(12, dtype=np.float32).reshape(6, 2))
+        check_grad(lambda s: segment_softmax(s, IDS, 3) * weights, (6, 2))
+
+
+class TestArgmaxByKey:
+    def test_latest_per_segment(self):
+        keys = np.array([1.0, 5.0, 2.0, 9.0, 3.0])
+        ids = np.array([0, 0, 1, 1, 1])
+        out = segment_argmax_by_key(keys, ids, 3)
+        np.testing.assert_array_equal(out, [1, 3, -1])
+
+    def test_tie_picks_last_row(self):
+        keys = np.array([5.0, 5.0])
+        out = segment_argmax_by_key(keys, np.array([0, 0]), 1)
+        assert out[0] == 1
+
+    def test_empty_segments_marked(self):
+        out = segment_argmax_by_key(np.array([]), np.array([], dtype=np.int64), 2)
+        np.testing.assert_array_equal(out, [-1, -1])

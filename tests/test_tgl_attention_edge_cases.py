@@ -1,0 +1,55 @@
+"""Edge-case tests for the TGL attention layer and model plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.core.graph import TGraph
+from repro.tgl import TGLAttnLayer, TGLSampler
+from repro.tgl.mfg import MFG
+
+
+def neighborless_mfg(n=3, dim=6):
+    empty_i = np.empty(0, dtype=np.int64)
+    mfg = MFG(T.CPU, np.arange(n), np.ones(n), empty_i, empty_i,
+              np.empty(0), empty_i)
+    mfg.srcdata["h"] = T.randn(n, dim)
+    return mfg
+
+
+class TestTGLAttnLayer:
+    def test_neighborless_input(self):
+        layer = TGLAttnLayer(2, dim_node=6, dim_edge=0, dim_time=4, dim_out=8)
+        out = layer(neighborless_mfg())
+        assert out.shape == (3, 8)
+
+    def test_heads_divisibility(self):
+        with pytest.raises(ValueError):
+            TGLAttnLayer(3, dim_node=4, dim_edge=0, dim_time=4, dim_out=8)
+
+    def test_with_and_without_edge_features(self):
+        g = TGraph([0, 1, 2, 0], [1, 2, 0, 2], [1.0, 2.0, 3.0, 4.0])
+        g.set_nfeat(np.random.default_rng(0).standard_normal((3, 6)).astype(np.float32))
+        g.set_efeat(np.random.default_rng(1).standard_normal((4, 5)).astype(np.float32))
+        sampler = TGLSampler(g, 2)
+        mfg = sampler.sample_hop(T.CPU, np.array([0, 1]), np.array([5.0, 5.0]))
+        mfg.load("h", g.nfeat, which="all")
+        mfg.load_edges("f", g.efeat)
+        with_ef = TGLAttnLayer(2, dim_node=6, dim_edge=5, dim_time=4, dim_out=8)
+        assert with_ef(mfg).shape == (2, 8)
+
+        mfg2 = sampler.sample_hop(T.CPU, np.array([0, 1]), np.array([5.0, 5.0]))
+        mfg2.load("h", g.nfeat, which="all")
+        without_ef = TGLAttnLayer(2, dim_node=6, dim_edge=0, dim_time=4, dim_out=8)
+        assert without_ef(mfg2).shape == (2, 8)
+
+    def test_gradients_reach_time_encoder(self):
+        g = TGraph([0, 1, 2, 0], [1, 2, 0, 2], [1.0, 2.0, 3.0, 4.0])
+        g.set_nfeat(np.random.default_rng(0).standard_normal((3, 6)).astype(np.float32))
+        sampler = TGLSampler(g, 2)
+        mfg = sampler.sample_hop(T.CPU, np.array([0, 1]), np.array([5.0, 5.0]))
+        mfg.load("h", g.nfeat, which="all")
+        layer = TGLAttnLayer(2, dim_node=6, dim_edge=0, dim_time=4, dim_out=8)
+        layer(mfg).sum().backward()
+        assert layer.time_encoder.weight.grad is not None
+        assert layer.w_q.weight.grad is not None

@@ -1,0 +1,92 @@
+"""Tests for TGL's config-file interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import get_dataset
+from repro.tgl import TGLAPAN, TGLJODIE, TGLTGAT, TGLTGN
+from repro.tgl.config import build_from_config, default_config, load_config
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_dataset("wiki").build_graph()
+
+
+class TestBundledConfigs:
+    @pytest.mark.parametrize("name,cls", [
+        ("tgat", TGLTGAT), ("tgn", TGLTGN), ("jodie", TGLJODIE), ("apan", TGLAPAN),
+    ])
+    def test_builds_each_model(self, name, cls, graph):
+        model, train = build_from_config(default_config(name), graph, 172, 172)
+        assert isinstance(model, cls)
+        assert train["batch_size"] > 0
+
+    def test_unknown_bundle(self):
+        with pytest.raises(FileNotFoundError):
+            default_config("dysat")
+
+    def test_jodie_config_is_special_cased(self):
+        """The paper's point: JODIE needs settings no other model exposes."""
+        cfg = default_config("jodie")
+        assert cfg["gnn"][0]["arch"] == "identity"
+        assert cfg["sampling"][0].get("no_sample") is True
+        for other in ("tgat", "tgn", "apan"):
+            assert default_config(other)["gnn"][0]["arch"] != "identity"
+
+    def test_apan_delivers_to_neighbors(self):
+        assert default_config("apan")["memory"][0]["deliver_to"] == "neighbors"
+        assert default_config("apan")["memory"][0]["mailbox_size"] == 10
+
+
+class TestBuilderValidation:
+    def test_identity_arch_requires_rnn(self, graph):
+        cfg = default_config("jodie")
+        cfg["memory"][0]["type"] = "gru"
+        with pytest.raises(ValueError):
+            build_from_config(cfg, graph, 172, 172)
+
+    def test_unknown_arch(self, graph):
+        cfg = default_config("tgat")
+        cfg["gnn"][0]["arch"] = "gcn"
+        with pytest.raises(ValueError):
+            build_from_config(cfg, graph, 172, 172)
+
+    def test_unknown_memory(self, graph):
+        cfg = default_config("tgn")
+        cfg["memory"][0]["type"] = "lstm"
+        with pytest.raises(ValueError):
+            build_from_config(cfg, graph, 172, 172)
+
+    def test_config_dims_respected(self, graph):
+        cfg = default_config("tgat")
+        cfg["gnn"][0]["dim_out"] = 16
+        cfg["gnn"][0]["layer"] = 1
+        model, _ = build_from_config(cfg, graph, 172, 172)
+        assert len(model.layers) == 1
+        assert model.layers[0].dim_out == 16
+
+    def test_load_config_roundtrip(self, tmp_path):
+        cfg = default_config("tgat")
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(cfg))
+        assert load_config(str(path)) == cfg
+
+
+class TestConfigModelRuns:
+    def test_config_built_model_trains(self, graph):
+        from repro import nn
+        from repro.bench import train_epoch
+        from repro.data import NegativeSampler, get_dataset
+
+        cfg = default_config("tgn")
+        cfg["gnn"][0].update({"dim_time": 8, "dim_out": 8, "layer": 1})
+        cfg["memory"][0]["dim_memory"] = 8
+        cfg["sampling"][0]["neighbor"] = [3]
+        model, train_cfg = build_from_config(cfg, graph, 172, 172)
+        opt = nn.Adam(model.parameters(), lr=train_cfg["lr"])
+        neg = NegativeSampler.for_dataset(get_dataset("wiki"))
+        _, loss = train_epoch(model, graph, opt, neg, train_cfg["batch_size"], stop=600)
+        assert np.isfinite(loss)
