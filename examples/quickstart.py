@@ -64,8 +64,11 @@ def main() -> None:
     test_seconds, test_ap = evaluate(
         model, graph, negatives, batch_size=300, start=val_end, stop=test_end
     )
-    hit_rates = ctx.cache_stats()
+    stats = ctx.stats()
+    hit_rates = {layer: round(c.hit_rate, 3) for layer, c in stats.cache.items()}
     print(f"test: {test_seconds:.2f}s  AP={test_ap:.4f}  cache hit rates={hit_rates}")
+    kernel_ms = {name: round(sec * 1e3, 1) for name, sec in stats.kernel_seconds.items()}
+    print(f"kernel time (ms): {kernel_ms}")
 
 
 if __name__ == "__main__":

@@ -145,10 +145,16 @@ def run_tgat_breakdown(cfg, slice_edges: int = 4000) -> Dict[str, float]:
     try:
         bd = Breakdown()
         stop = min(exp.train_end, slice_edges)
+        if exp.ctx is not None:
+            exp.ctx.reset_stats()
         if cfg.framework == "tgl":
             _tgl_epoch(exp, stop, bd)
         else:
             _tglite_epoch(exp, stop, bd)
+        if exp.ctx is not None:
+            # Kernel-level timings recorded by the vectorized kernel layer
+            # (repro.core.kernels); nested inside the coarse stages above.
+            bd.merge(exp.ctx.stats().kernel_seconds, prefix="kernel:")
         totals = bd.totals()
         if "attention" in totals:
             nested = totals.get("time_zero", 0.0) + totals.get("time_nbrs", 0.0)

@@ -58,6 +58,18 @@ class Breakdown:
     def add(self, name: str, seconds: float) -> None:
         self._timers.setdefault(name, Timer()).elapsed += seconds
 
+    def merge(self, totals: Dict[str, float], prefix: str = "") -> None:
+        """Fold a name→seconds mapping into the breakdown.
+
+        The natural source is :meth:`TContext.stats`'s ``kernel_seconds``
+        field, merged under a ``prefix`` like ``"kernel:"``.  Note that
+        kernel timings are typically *nested inside* coarser sections
+        (e.g. ``kernel:sample`` inside ``sample``), so callers computing
+        grand totals should exclude prefixed entries.
+        """
+        for name, seconds in totals.items():
+            self.add(prefix + name, seconds)
+
     def totals(self) -> Dict[str, float]:
         """Mapping of section name to accumulated seconds."""
         return {name: timer.elapsed for name, timer in self._timers.items()}

@@ -16,18 +16,21 @@ public surface mirrors the ``tglite`` module of the original release::
         embs = tg.op.aggregate(head, layers, key='h')
 """
 
-from . import op
+from . import kernels, op
 from .batch import TBatch, iter_batches
 from .block import TBlock
 from .context import TContext
 from .graph import TGraph, TemporalCSR, from_edges, to_networkx
+from .kernels import SampleResult
 from .mailbox import Mailbox
 from .memory import Memory
 from .sampler import TSampler
 from .snapshot import SnapshotLoader, TSnapshot, snapshots
 
 __all__ = [
+    "kernels",
     "op",
+    "SampleResult",
     "TBatch",
     "iter_batches",
     "TBlock",

@@ -3,19 +3,28 @@
 A :class:`TContext` carries (a) placement policy — which simulated device
 computation runs on and where raw feature data lives — and (b) scratch
 storage for the optimization operators: the embedding cache used by
-``op.cache()``, the precomputed time-vector tables used by
-``op.precomputed_times()``/``op.precomputed_zeros()``, and the pool of
+``op.cache()`` (backed by the array kernels in
+:mod:`repro.core.kernels.cache`), the precomputed time-vector tables used
+by ``op.precomputed_times()``/``op.precomputed_zeros()``, and the pool of
 pinned staging buffers used by ``op.preload()``.
+
+Instrumentation is read through one surface: :meth:`TContext.stats`
+returns a :class:`~repro.core.stats.ContextStats` snapshot (operator
+counters, per-layer cache hit rates, pinned-pool reuse, and per-kernel
+wall time) and :meth:`TContext.reset_stats` clears it.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..tensor import Tensor
 from ..tensor.device import CPU, Device, get_device
+from .kernels.cache import NodeTimeCache as _EmbedCache
+from .stats import CacheLayerStats, ContextStats, PinnedPoolStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .graph import TGraph
@@ -55,73 +64,9 @@ class _PinnedPool:
     def clear(self) -> None:
         self._buffers.clear()
 
-
-class _EmbedCache:
-    """Bounded (node, time) -> embedding row store backing ``op.cache()``.
-
-    Entries live in a ring of numpy rows; the dict maps the (node, time)
-    pair to its slot.  Eviction is FIFO by slot reuse, which matches the
-    behaviour TGOpt describes for its memoization table.
-    """
-
-    def __init__(self, capacity: int, dim: Optional[int] = None):
-        self.capacity = int(capacity)
-        self.dim = dim
-        self._slots: Optional[np.ndarray] = None
-        self._index: Dict[Tuple[int, float], int] = {}
-        self._keys: list = []
-        self._cursor = 0
+    def reset_stats(self) -> None:
         self.hits = 0
-        self.lookups = 0
-
-    def _ensure(self, dim: int) -> None:
-        if self._slots is None:
-            self.dim = dim
-            self._slots = np.zeros((self.capacity, dim), dtype=np.float32)
-            self._keys = [None] * self.capacity
-
-    def lookup(self, nodes: np.ndarray, times: np.ndarray) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """Return (hit_mask, rows) for each (node, time) query pair."""
-        n = len(nodes)
-        self.lookups += n
-        hit_mask = np.zeros(n, dtype=bool)
-        if self._slots is None or n == 0:
-            return hit_mask, None
-        rows = np.zeros((n, self.dim), dtype=np.float32)
-        index = self._index
-        for i in range(n):
-            slot = index.get((int(nodes[i]), float(times[i])))
-            if slot is not None:
-                hit_mask[i] = True
-                rows[i] = self._slots[slot]
-        self.hits += int(hit_mask.sum())
-        return hit_mask, rows
-
-    def store(self, nodes: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
-        if len(nodes) == 0:
-            return
-        self._ensure(values.shape[1])
-        for i in range(len(nodes)):
-            slot = self._cursor
-            old_key = self._keys[slot]
-            if old_key is not None:
-                self._index.pop(old_key, None)
-            key = (int(nodes[i]), float(times[i]))
-            self._index[key] = slot
-            self._keys[slot] = key
-            self._slots[slot] = values[i]
-            self._cursor = (self._cursor + 1) % self.capacity
-
-    def clear(self) -> None:
-        self._index.clear()
-        self._keys = [None] * self.capacity if self._slots is not None else []
-        self._cursor = 0
-        self.hits = 0
-        self.lookups = 0
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        self.misses = 0
 
 
 class TContext:
@@ -130,7 +75,8 @@ class TContext:
     Args:
         graph: the :class:`~repro.core.graph.TGraph` this context serves.
         device: simulated device computation runs on.
-        cache_limit: capacity (rows) of each per-layer embedding cache.
+        cache_limit: capacity (rows) of each per-layer embedding cache;
+            values ``<= 0`` disable embedding caching entirely.
         time_window: rounding resolution for precomputed-time lookups; time
             deltas are quantized to multiples of this before table lookup
             (0 means exact float matching).
@@ -155,8 +101,10 @@ class TContext:
         self._time_tables: Dict[int, dict] = {}
         self._time_zero_rows: Dict[int, Tuple[int, np.ndarray]] = {}
         #: operator-effectiveness counters (rows seen/removed per operator),
-        #: updated by dedup()/cache(); see op_stats().
+        #: updated by dedup()/cache(); read via stats().
         self.counters: Dict[str, int] = {}
+        #: accumulated wall-clock seconds per hot-path kernel.
+        self._kernel_seconds: Dict[str, float] = {}
 
     # ---- modes ------------------------------------------------------------------
 
@@ -187,7 +135,7 @@ class TContext:
         """The (lazily created) embedding cache for a given layer index."""
         cache = self._embed_caches.get(layer)
         if cache is None:
-            cache = _EmbedCache(self.cache_limit)
+            cache = _EmbedCache(self.cache_limit, timer=self.add_kernel_time)
             self._embed_caches[layer] = cache
         return cache
 
@@ -195,36 +143,72 @@ class TContext:
         for cache in self._embed_caches.values():
             cache.clear()
 
-    def cache_stats(self) -> Dict[int, float]:
-        """Per-layer cache hit rates (for instrumentation/benchmarks)."""
-        return {layer: c.hit_rate for layer, c in self._embed_caches.items()}
-
-    # ---- operator-effectiveness counters -----------------------------------
+    # ---- instrumentation --------------------------------------------------------
 
     def count(self, key: str, amount: int) -> None:
         """Accumulate an operator counter (e.g. 'dedup_rows_in')."""
         self.counters[key] = self.counters.get(key, 0) + int(amount)
 
-    def op_stats(self) -> Dict[str, float]:
-        """Summarize operator effectiveness from the accumulated counters.
+    def add_kernel_time(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds under a kernel name."""
+        self._kernel_seconds[name] = self._kernel_seconds.get(name, 0.0) + seconds
 
-        Returns ratios such as ``dedup_reduction`` (fraction of destination
-        rows removed by dedup) and ``cache_hit_rate`` alongside the raw
-        counters — the numbers §5.2's discussion attributes speedups to.
+    def stats(self) -> ContextStats:
+        """One frozen snapshot of all context instrumentation.
+
+        Bundles the operator counters, per-layer embedding-cache hit
+        statistics, pinned-pool reuse counts, and per-kernel wall time —
+        the numbers §5.2's discussion attributes speedups to.
         """
-        stats: Dict[str, float] = dict(self.counters)
-        rows_in = self.counters.get("dedup_rows_in", 0)
-        rows_out = self.counters.get("dedup_rows_out", 0)
-        if rows_in:
-            stats["dedup_reduction"] = 1.0 - rows_out / rows_in
-        lookups = sum(c.lookups for c in self._embed_caches.values())
-        hits = sum(c.hits for c in self._embed_caches.values())
-        if lookups:
-            stats["cache_hit_rate"] = hits / lookups
-        return stats
+        return ContextStats(
+            counters=dict(self.counters),
+            cache={
+                layer: CacheLayerStats(c.hits, c.lookups, c.num_entries)
+                for layer, c in self._embed_caches.items()
+            },
+            pinned=PinnedPoolStats(self._pinned_pool.hits, self._pinned_pool.misses),
+            kernel_seconds=dict(self._kernel_seconds),
+        )
+
+    def reset_stats(self) -> None:
+        """Zero all instrumentation (counters, hit stats, kernel times).
+
+        Cache *contents* are kept — only the statistics reset.
+        """
+        self.counters.clear()
+        self._kernel_seconds.clear()
+        self._pinned_pool.reset_stats()
+        for cache in self._embed_caches.values():
+            cache.reset_stats()
+
+    # ---- deprecated instrumentation shims -----------------------------------
+
+    def cache_stats(self) -> Dict[int, float]:
+        """Deprecated: use ``stats().cache`` instead."""
+        warnings.warn(
+            "TContext.cache_stats() is deprecated; use stats().cache",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {layer: c.hit_rate for layer, c in self.stats().cache.items()}
+
+    def op_stats(self) -> Dict[str, float]:
+        """Deprecated: use ``stats().as_dict()`` instead."""
+        warnings.warn(
+            "TContext.op_stats() is deprecated; use stats().as_dict()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats().as_dict()
 
     def reset_counters(self) -> None:
-        self.counters.clear()
+        """Deprecated: use ``reset_stats()`` instead."""
+        warnings.warn(
+            "TContext.reset_counters() is deprecated; use reset_stats()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.reset_stats()
 
     # ---- precomputed time tables --------------------------------------------------------
 

@@ -1,0 +1,378 @@
+"""Array-based (node, time) -> slot embedding store.
+
+Backs ``op.cache()`` (TGOpt-style memoization) and the manual baseline's
+memo table.  Entries live in a FIFO ring of ``capacity`` float32 rows; an
+open-addressing hash table maps each (node, time) key to its ring slot.
+Both ``lookup`` and ``store`` are batched: probing advances *all*
+unresolved queries one bucket per pass with full-width numpy ops, so the
+per-row Python dict loops of the original implementation disappear.
+
+Batch-store contract (implemented identically by the loop reference):
+
+1. *Refresh pass* — keys already resident have their value overwritten
+   in place (keeping their ring slot and FIFO position).
+2. *Allocation pass* — keys not resident are assigned consecutive ring
+   slots in order of first occurrence within the batch; each allocation
+   evicts the slot's previous occupant.  Duplicate keys within a batch
+   take their last occurrence's value.
+
+A ``capacity <= 0`` store is disabled: lookups miss, stores are no-ops
+(this also fixes the historical ``ZeroDivisionError`` for
+``TContext(cache_limit=0)``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .dedup import unique_node_times
+
+__all__ = ["NodeTimeCache", "_ReferenceNodeTimeCache"]
+
+_EMPTY = -1
+_TOMBSTONE = -2
+
+
+def _hash_keys(nodes: np.ndarray, timebits: np.ndarray) -> np.ndarray:
+    """Mix (node id, time bit-pattern) into one 64-bit hash per pair."""
+    h = nodes.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    h ^= timebits * np.uint64(0xBF58476D1CE4E5B9)
+    h ^= h >> np.uint64(31)
+    h *= np.uint64(0x94D049BB133111EB)
+    h ^= h >> np.uint64(29)
+    return h
+
+
+def _canonical_times(times: np.ndarray) -> np.ndarray:
+    """float64 times with -0.0 normalized to +0.0 (equal keys, equal bits)."""
+    return np.asarray(times, dtype=np.float64) + 0.0
+
+
+class NodeTimeCache:
+    """Bounded (node, time) -> embedding row store with batched kernels.
+
+    Args:
+        capacity: ring size in rows; ``<= 0`` disables the cache.
+        dim: row width; discovered from the first ``store`` if omitted.
+        timer: optional ``(name, seconds)`` callback fed per-kernel wall
+            time (wired to :meth:`TContext.stats` by the context).
+    """
+
+    def __init__(self, capacity: int, dim: Optional[int] = None,
+                 timer: Optional[Callable[[str, float], None]] = None):
+        self.capacity = int(capacity)
+        self.dim = dim
+        self.hits = 0
+        self.lookups = 0
+        self._timer = timer
+        self._values: Optional[np.ndarray] = None
+        self._slot_nodes: Optional[np.ndarray] = None
+        self._slot_times: Optional[np.ndarray] = None
+        self._nslots = 0  # slots written so far (== capacity once wrapped)
+        self._cursor = 0
+        if self.capacity > 0:
+            nbuckets = 8
+            while nbuckets < 4 * self.capacity:
+                nbuckets <<= 1
+            self._nbuckets = nbuckets
+        else:
+            self._nbuckets = 0
+        self._mask = np.int64(self._nbuckets - 1)
+        self._table: Optional[np.ndarray] = None
+        self._used = 0
+        self._tombs = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def num_entries(self) -> int:
+        """Slots currently holding a stored row (≤ capacity)."""
+        return self._nslots
+
+    # ---- public kernels ---------------------------------------------------------
+
+    def lookup(self, nodes: np.ndarray, times: np.ndarray) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Return ``(hit_mask, rows)`` for each (node, time) query pair.
+
+        ``rows`` is ``None`` until the first store (or when disabled);
+        otherwise a float32 ``(n, dim)`` array with hit rows filled in.
+        """
+        start = time.perf_counter() if self._timer else 0.0
+        n = len(nodes)
+        self.lookups += n
+        hit = np.zeros(n, dtype=bool)
+        if self._values is None or n == 0:
+            if self._timer:
+                self._timer("cache_lookup", time.perf_counter() - start)
+            return hit, None
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = _canonical_times(times)
+        _, slots = self._probe_find(nodes, times)
+        hit = slots >= 0
+        rows = np.zeros((n, self.dim), dtype=np.float32)
+        rows[hit] = self._values[slots[hit]]
+        self.hits += int(hit.sum())
+        if self._timer:
+            self._timer("cache_lookup", time.perf_counter() - start)
+        return hit, rows
+
+    def store(self, nodes: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        if not self.enabled or len(nodes) == 0:
+            return
+        start = time.perf_counter() if self._timer else 0.0
+        values = np.asarray(values)
+        self._ensure(values.shape[1])
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = _canonical_times(times)
+
+        # Batch dedupe: unique keys with first/last occurrence positions.
+        un, ut, inverse = unique_node_times(nodes, times)
+        nq = len(nodes)
+        first = np.full(len(un), nq, dtype=np.int64)
+        np.minimum.at(first, inverse, np.arange(nq, dtype=np.int64))
+        last = np.zeros(len(un), dtype=np.int64)
+        np.maximum.at(last, inverse, np.arange(nq, dtype=np.int64))
+
+        # Refresh pass: resident keys keep their slot, take the last value.
+        _, slots = self._probe_find(un, ut)
+        present = slots >= 0
+        if present.any():
+            self._values[slots[present]] = values[last[present]].astype(np.float32)
+
+        # Allocation pass: absent keys, in first-occurrence order.
+        new = np.flatnonzero(~present)
+        m = len(new)
+        if m == 0:
+            if self._timer:
+                self._timer("cache_store", time.perf_counter() - start)
+            return
+        new = new[np.argsort(first[new], kind="stable")]
+        kn, kt = un[new], ut[new]
+        kv = values[last[new]].astype(np.float32)
+        cap = self.capacity
+        if m >= cap:
+            # The batch replaces the whole ring: only the last `cap`
+            # allocations survive (matching sequential FIFO wraparound).
+            survivors = slice(m - cap, m)
+            order = (self._cursor + np.arange(m - cap, m)) % cap
+            self._slot_nodes[order] = kn[survivors]
+            self._slot_times[order] = kt[survivors]
+            self._values[order] = kv[survivors]
+            self._nslots = cap
+            self._cursor = (self._cursor + m) % cap
+            self._rebuild_table()
+        else:
+            if self._used + self._tombs + m > (self._nbuckets * 3) // 5:
+                self._rebuild_table()
+            slots_new = (self._cursor + np.arange(m, dtype=np.int64)) % cap
+            evict = slots_new[slots_new < self._nslots]
+            if len(evict):
+                self._table_delete(self._slot_nodes[evict], self._slot_times[evict])
+            self._slot_nodes[slots_new] = kn
+            self._slot_times[slots_new] = kt
+            self._values[slots_new] = kv
+            self._nslots = cap if self._cursor + m >= cap else max(self._nslots, self._cursor + m)
+            self._cursor = (self._cursor + m) % cap
+            self._table_insert(kn, kt, slots_new)
+        if self._timer:
+            self._timer("cache_store", time.perf_counter() - start)
+
+    def clear(self) -> None:
+        """Drop all entries and reset hit statistics."""
+        self._values = None
+        self._slot_nodes = None
+        self._slot_times = None
+        self._table = None
+        self._nslots = 0
+        self._cursor = 0
+        self._used = 0
+        self._tombs = 0
+        self.hits = 0
+        self.lookups = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.lookups = 0
+
+    # ---- internals --------------------------------------------------------------
+
+    def _ensure(self, dim: int) -> None:
+        if self._values is None:
+            self.dim = dim
+            self._values = np.zeros((self.capacity, dim), dtype=np.float32)
+            self._slot_nodes = np.zeros(self.capacity, dtype=np.int64)
+            self._slot_times = np.zeros(self.capacity, dtype=np.float64)
+            self._table = np.full(self._nbuckets, _EMPTY, dtype=np.int64)
+        elif dim != self.dim:
+            raise ValueError(f"stored rows have dim {self.dim}, got {dim}")
+
+    def _probe_find(self, nodes: np.ndarray, times: np.ndarray):
+        """Vectorized linear probing: (bucket, slot) per key, -1 on miss."""
+        n = len(nodes)
+        buckets = np.full(n, -1, dtype=np.int64)
+        result = np.full(n, -1, dtype=np.int64)
+        if self._table is None or n == 0:
+            return buckets, result
+        table = self._table
+        idx = np.arange(n, dtype=np.int64)
+        h = (_hash_keys(nodes, times.view(np.uint64)) & np.uint64(self._mask)).astype(np.int64)
+        qn, qt = nodes, times
+        for _ in range(self._nbuckets + 1):
+            if idx.size == 0:
+                return buckets, result
+            b = table[h]
+            occupied = b >= 0
+            match = np.zeros(idx.size, dtype=bool)
+            if occupied.any():
+                s = b[occupied]
+                match[occupied] = (self._slot_nodes[s] == qn[occupied]) & (
+                    self._slot_times[s] == qt[occupied]
+                )
+                found = match & occupied
+                result[idx[found]] = b[found]
+                buckets[idx[found]] = h[found]
+            resolved = match | (b == _EMPTY)
+            keep = ~resolved
+            idx, qn, qt = idx[keep], qn[keep], qt[keep]
+            h = (h[keep] + 1) & self._mask
+        raise RuntimeError("open-addressing probe did not terminate")  # pragma: no cover
+
+    def _table_delete(self, nodes: np.ndarray, times: np.ndarray) -> None:
+        buckets, slots = self._probe_find(nodes, times)
+        live = slots >= 0
+        self._table[buckets[live]] = _TOMBSTONE
+        self._used -= int(live.sum())
+        self._tombs += int(live.sum())
+
+    def _table_insert(self, nodes: np.ndarray, times: np.ndarray, slots: np.ndarray) -> None:
+        """Insert keys known to be absent; first writer wins per bucket."""
+        table = self._table
+        h = (_hash_keys(nodes, times.view(np.uint64)) & np.uint64(self._mask)).astype(np.int64)
+        s = np.asarray(slots, dtype=np.int64)
+        for _ in range(self._nbuckets + 1):
+            if h.size == 0:
+                return
+            free = table[h] < 0
+            placed = np.zeros(h.size, dtype=bool)
+            if free.any():
+                idx_free = np.flatnonzero(free)
+                _, first_idx = np.unique(h[idx_free], return_index=True)
+                win = idx_free[first_idx]
+                self._tombs -= int((table[h[win]] == _TOMBSTONE).sum())
+                self._used += len(win)
+                table[h[win]] = s[win]
+                placed[win] = True
+            keep = ~placed
+            h = (h[keep] + 1) & self._mask
+            s = s[keep]
+        raise RuntimeError("open-addressing insert did not terminate")  # pragma: no cover
+
+    def _rebuild_table(self) -> None:
+        self._table = np.full(self._nbuckets, _EMPTY, dtype=np.int64)
+        self._used = 0
+        self._tombs = 0
+        if self._nslots:
+            live = np.arange(self._nslots, dtype=np.int64)
+            self._table_insert(self._slot_nodes[live], self._slot_times[live], live)
+
+
+class _ReferenceNodeTimeCache:
+    """Per-row dict/loop implementation of the same batch-store contract.
+
+    This is the pre-kernel hot path (Python dict per row); it is kept
+    only for the equivalence tests and the microbenchmark.
+    """
+
+    def __init__(self, capacity: int, dim: Optional[int] = None):
+        self.capacity = int(capacity)
+        self.dim = dim
+        self.hits = 0
+        self.lookups = 0
+        self._slots: Optional[np.ndarray] = None
+        self._index: Dict[Tuple[int, float], int] = {}
+        self._keys: list = []
+        self._cursor = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def num_entries(self) -> int:
+        return sum(1 for k in self._keys if k is not None)
+
+    def lookup(self, nodes: np.ndarray, times: np.ndarray):
+        n = len(nodes)
+        self.lookups += n
+        hit_mask = np.zeros(n, dtype=bool)
+        if self._slots is None or n == 0:
+            return hit_mask, None
+        rows = np.zeros((n, self.dim), dtype=np.float32)
+        index = self._index
+        for i in range(n):
+            slot = index.get((int(nodes[i]), float(times[i])))
+            if slot is not None:
+                hit_mask[i] = True
+                rows[i] = self._slots[slot]
+        self.hits += int(hit_mask.sum())
+        return hit_mask, rows
+
+    def store(self, nodes: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        if not self.enabled or len(nodes) == 0:
+            return
+        values = np.asarray(values)
+        if self._slots is None:
+            self.dim = values.shape[1]
+            self._slots = np.zeros((self.capacity, self.dim), dtype=np.float32)
+            self._keys = [None] * self.capacity
+        index = self._index
+        n = len(nodes)
+        # Refresh pass: resident keys take the (last) batch value in place.
+        resident = set()
+        for i in range(n):
+            key = (int(nodes[i]), float(times[i]))
+            slot = index.get(key)
+            if slot is not None:
+                self._slots[slot] = values[i]
+                resident.add(key)
+        # Allocation pass: absent keys in first-occurrence order, with the
+        # value of their last occurrence; each allocation evicts FIFO.
+        last_value: Dict[Tuple[int, float], int] = {}
+        alloc_order = []
+        for i in range(n):
+            key = (int(nodes[i]), float(times[i]))
+            if key in resident:
+                continue
+            if key not in last_value:
+                alloc_order.append(key)
+            last_value[key] = i
+        for key in alloc_order:
+            slot = self._cursor
+            old_key = self._keys[slot]
+            if old_key is not None and index.get(old_key) == slot:
+                del index[old_key]
+            index[key] = slot
+            self._keys[slot] = key
+            self._slots[slot] = values[last_value[key]]
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def clear(self) -> None:
+        self._index.clear()
+        self._keys = [None] * self.capacity if self._slots is not None else []
+        self._slots = None
+        self._cursor = 0
+        self.hits = 0
+        self.lookups = 0

@@ -1,0 +1,52 @@
+"""Vectorized unique-(node, time) computation for ``op.dedup()``.
+
+The structured-dtype ``np.unique`` of the original implementation pays
+for void-dtype comparisons; the kernel gets the same answer from one
+``lexsort`` plus boundary detection over plain int64/float64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["unique_node_times", "_reference_unique_node_times"]
+
+
+def unique_node_times(nodes: np.ndarray, times: np.ndarray):
+    """Unique (node, time) pairs and the inverse map onto the input order.
+
+    Returns ``(uniq_nodes, uniq_times, inverse)`` where
+    ``uniq_nodes[inverse] == nodes`` and likewise for times; unique pairs
+    are sorted ascending by (node, time), matching ``np.unique`` on a
+    structured ``(n, t)`` array.
+    """
+    n = len(nodes)
+    if n == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+        )
+    nodes = np.asarray(nodes, dtype=np.int64)
+    times = np.asarray(times, dtype=np.float64)
+    order = np.lexsort((times, nodes))
+    sn, st = nodes[order], times[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (sn[1:] != sn[:-1]) | (st[1:] != st[:-1])
+    group = np.cumsum(boundary) - 1
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = group
+    return sn[boundary], st[boundary], inverse
+
+
+def _reference_unique_node_times(nodes: np.ndarray, times: np.ndarray):
+    """Structured-dtype ``np.unique`` implementation (pre-kernel path).
+
+    Kept only for the equivalence tests and the microbenchmark.
+    """
+    pairs = np.empty(len(nodes), dtype=[("n", np.int64), ("t", np.float64)])
+    pairs["n"] = nodes
+    pairs["t"] = times
+    uniq, inverse = np.unique(pairs, return_inverse=True)
+    return uniq["n"].copy(), uniq["t"].copy(), inverse.astype(np.int64)

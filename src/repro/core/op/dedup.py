@@ -10,25 +10,15 @@ the inverse index, preserving output semantics exactly.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ...tensor import Tensor
 from ..block import TBlock
+from ..kernels.dedup import unique_node_times
 
 __all__ = ["dedup", "unique_node_times"]
-
-
-def unique_node_times(nodes: np.ndarray, times: np.ndarray):
-    """Unique (node, time) pairs and the inverse map onto the input order.
-
-    Returns ``(uniq_nodes, uniq_times, inverse)`` where
-    ``uniq_nodes[inverse] == nodes`` and likewise for times.
-    """
-    pairs = np.empty(len(nodes), dtype=[("n", np.int64), ("t", np.float64)])
-    pairs["n"] = nodes
-    pairs["t"] = times
-    uniq, inverse = np.unique(pairs, return_inverse=True)
-    return uniq["n"].copy(), uniq["t"].copy(), inverse.astype(np.int64)
 
 
 def dedup(block: TBlock) -> TBlock:
@@ -42,7 +32,9 @@ def dedup(block: TBlock) -> TBlock:
     if block.has_nbrs:
         raise RuntimeError("dedup must be applied before sampling neighbors")
     nodes, times = block.dstnodes, block.dsttimes
+    start = time.perf_counter()
     uniq_nodes, uniq_times, inverse = unique_node_times(nodes, times)
+    block.ctx.add_kernel_time("dedup", time.perf_counter() - start)
     block.ctx.count("dedup_rows_in", len(nodes))
     block.ctx.count("dedup_rows_out", len(uniq_nodes))
     if len(uniq_nodes) == len(nodes):

@@ -1,0 +1,90 @@
+"""Unified instrumentation snapshot for :class:`~repro.core.context.TContext`.
+
+Historically the context exposed three overlapping surfaces —
+``cache_stats()``, ``op_stats()``, ``reset_counters()`` plus ad-hoc
+per-pool counters.  They are unified behind ``ctx.stats()`` (returning a
+frozen :class:`ContextStats` snapshot of everything in one read) and
+``ctx.reset_stats()``; the old methods remain as thin deprecation shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["CacheLayerStats", "PinnedPoolStats", "ContextStats"]
+
+
+@dataclass(frozen=True)
+class CacheLayerStats:
+    """Hit statistics of one per-layer embedding cache."""
+
+    hits: int
+    lookups: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class PinnedPoolStats:
+    """Buffer-reuse statistics of the pinned staging pool."""
+
+    hits: int
+    misses: int
+
+
+@dataclass(frozen=True)
+class ContextStats:
+    """One coherent snapshot of a context's instrumentation.
+
+    Produced by :meth:`TContext.stats`; values are copies, so a snapshot
+    taken before an epoch can be compared against one taken after.
+    """
+
+    #: raw operator counters (e.g. ``dedup_rows_in``), see ``ctx.count()``.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: per-layer embedding-cache statistics.
+    cache: Dict[int, CacheLayerStats] = field(default_factory=dict)
+    #: pinned staging-pool statistics.
+    pinned: PinnedPoolStats = PinnedPoolStats(0, 0)
+    #: accumulated wall-clock seconds per kernel (sample, cache_lookup, ...).
+    kernel_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.hits for c in self.cache.values())
+
+    @property
+    def cache_lookups(self) -> int:
+        return sum(c.lookups for c in self.cache.values())
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Aggregate hit rate over all layers; None before any lookup."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else None
+
+    @property
+    def dedup_reduction(self) -> Optional[float]:
+        """Fraction of destination rows removed by dedup; None before use."""
+        rows_in = self.counters.get("dedup_rows_in", 0)
+        if not rows_in:
+            return None
+        return 1.0 - self.counters.get("dedup_rows_out", 0) / rows_in
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to the historical ``op_stats()`` mapping.
+
+        Raw counters plus the derived ``dedup_reduction`` /
+        ``cache_hit_rate`` ratios (present only once meaningful) — the
+        numbers §5.2's discussion attributes speedups to.
+        """
+        flat: Dict[str, float] = dict(self.counters)
+        if self.dedup_reduction is not None:
+            flat["dedup_reduction"] = self.dedup_reduction
+        if self.cache_hit_rate is not None:
+            flat["cache_hit_rate"] = self.cache_hit_rate
+        return flat

@@ -5,15 +5,25 @@ structure for temporal adjacency and sampling — "implementations often
 have one-off data structures (e.g. NeighborFinder) that has to be repeated
 for other implementations and projects" (§3.1).  This module reproduces
 that style: a self-contained class that builds its own per-node sorted
-adjacency lists from raw edge arrays and exposes a ``sample_recent``
-method, independent of (and redundant with) the framework's TGraph/CSR.
+adjacency arrays from raw edge arrays, independent of (and redundant
+with) the framework's TGraph/CSR.
+
+Sampling itself dispatches through the shared vectorized kernel layer
+(:mod:`repro.core.kernels.sample`) — in the paper both the manual
+baseline and TGLite call equivalent C++ samplers, so kernel parity keeps
+the comparison about the *programming model*, not the sampler.
+``sample_flat`` exposes the kernel's :class:`SampleResult` directly;
+``sample_recent`` converts it to the fixed-size zero-padded layout
+Listing 1's recursive ``embeds()`` consumes.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
+
+from ..core.kernels import SampleResult, sample_recent
 
 __all__ = ["NeighborFinder"]
 
@@ -31,25 +41,23 @@ class NeighborFinder:
         dst = np.asarray(dst, dtype=np.int64)
         ts = np.asarray(ts, dtype=np.float64)
         eids = np.arange(len(src), dtype=np.int64)
-        # Build per-node time-sorted incidence lists the hand-rolled way.
-        self.nbr_list: List[np.ndarray] = []
-        self.eid_list: List[np.ndarray] = []
-        self.ts_list: List[np.ndarray] = []
+        # Build flat per-node time-sorted incidence arrays (a hand-rolled CSR).
         endpoints = np.concatenate([src, dst])
         partners = np.concatenate([dst, src])
         all_eids = np.concatenate([eids, eids])
         all_ts = np.concatenate([ts, ts])
         order = np.lexsort((all_ts, endpoints))
-        endpoints = endpoints[order]
-        partners = partners[order]
-        all_eids = all_eids[order]
-        all_ts = all_ts[order]
-        bounds = np.searchsorted(endpoints, np.arange(num_nodes + 1))
-        for v in range(num_nodes):
-            lo, hi = bounds[v], bounds[v + 1]
-            self.nbr_list.append(partners[lo:hi])
-            self.eid_list.append(all_eids[lo:hi])
-            self.ts_list.append(all_ts[lo:hi])
+        self.nbrs = partners[order]
+        self.eids = all_eids[order]
+        self.ts = all_ts[order]
+        self.indptr = np.searchsorted(endpoints[order], np.arange(num_nodes + 1)).astype(np.int64)
+
+    def sample_flat(self, n_nbr: int, nids: np.ndarray, times: np.ndarray) -> SampleResult:
+        """Most-recent temporal sampling as flat kernel-layer rows."""
+        return sample_recent(
+            self.indptr, self.nbrs, self.eids, self.ts,
+            np.asarray(nids, dtype=np.int64), np.asarray(times, dtype=np.float64), n_nbr,
+        )
 
     def sample_recent(
         self, n_nbr: int, nids: np.ndarray, times: np.ndarray
@@ -61,19 +69,16 @@ class NeighborFinder:
         ``embeds()`` consumes.
         """
         n = len(nids)
+        res = self.sample_flat(n_nbr, nids, times)
         nbrs = np.zeros((n, n_nbr), dtype=np.int64)
         eids = np.zeros((n, n_nbr), dtype=np.int64)
         nbr_ts = np.zeros((n, n_nbr), dtype=np.float64)
         mask = np.zeros((n, n_nbr), dtype=bool)
-        for i in range(n):
-            node_ts = self.ts_list[nids[i]]
-            cut = np.searchsorted(node_ts, times[i], side="left")
-            take = min(cut, n_nbr)
-            if take == 0:
-                continue
-            sel = slice(cut - take, cut)
-            nbrs[i, :take] = self.nbr_list[nids[i]][sel]
-            eids[i, :take] = self.eid_list[nids[i]][sel]
-            nbr_ts[i, :take] = node_ts[sel]
-            mask[i, :take] = True
+        counts = np.bincount(res.dstindex, minlength=n)
+        starts = np.cumsum(counts) - counts
+        within = np.arange(res.num_rows, dtype=np.int64) - starts[res.dstindex]
+        nbrs[res.dstindex, within] = res.srcnodes
+        eids[res.dstindex, within] = res.eids
+        nbr_ts[res.dstindex, within] = res.etimes
+        mask[res.dstindex, within] = True
         return nbrs, eids, nbr_ts, mask

@@ -11,11 +11,11 @@ the comparison is the *programming model*, not the kernel.)
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..core.op.dedup import unique_node_times
+from ..core.kernels import NodeTimeCache, unique_node_times
 from ..nn import TimeEncode
 
 __all__ = ["ManualOptimizer"]
@@ -26,7 +26,7 @@ class ManualOptimizer:
 
     def __init__(self, cache_capacity: int = 20000):
         self.cache_capacity = cache_capacity
-        self._cache: Dict[int, Dict[Tuple[int, float], np.ndarray]] = {}
+        self._cache: Dict[int, NodeTimeCache] = {}
         self._time_tables: Dict[int, Dict[float, np.ndarray]] = {}
         self.enabled_dedup = True
         self.enabled_cache = True
@@ -53,30 +53,27 @@ class ManualOptimizer:
 
     # ---- cache: manual hit/miss bookkeeping (Listing 1, region C) -------------
 
+    def _layer_cache(self, layer: int) -> NodeTimeCache:
+        cache = self._cache.get(layer)
+        if cache is None:
+            cache = NodeTimeCache(self.cache_capacity)
+            self._cache[layer] = cache
+        return cache
+
     def cache_lookup(self, layer: int, nids: np.ndarray, times: np.ndarray):
-        """Returns ``(hit_mask, rows)``; rows is None when nothing cached."""
+        """Returns ``(hit_mask, rows)``; rows is None when nothing cached.
+
+        Dispatches to the shared array kernel — the manual style here is
+        the *bookkeeping* the caller must thread, not the row loop.
+        """
         if not self.enabled_cache:
             return np.zeros(len(nids), dtype=bool), None
-        store = self._cache.setdefault(layer, {})
-        hit = np.zeros(len(nids), dtype=bool)
-        rows = None
-        for i in range(len(nids)):
-            entry = store.get((int(nids[i]), float(times[i])))
-            if entry is not None:
-                if rows is None:
-                    rows = np.zeros((len(nids), entry.shape[0]), dtype=np.float32)
-                rows[i] = entry
-                hit[i] = True
-        return hit, rows
+        return self._layer_cache(layer).lookup(nids, times)
 
     def cache_store(self, layer: int, embs: np.ndarray, nids: np.ndarray, times: np.ndarray) -> None:
-        if not self.enabled_cache:
+        if not self.enabled_cache or len(nids) == 0:
             return
-        store = self._cache.setdefault(layer, {})
-        for i in range(len(nids)):
-            if len(store) >= self.cache_capacity:
-                store.pop(next(iter(store)))
-            store[(int(nids[i]), float(times[i]))] = np.asarray(embs[i], dtype=np.float32)
+        self._layer_cache(layer).store(nids, times, np.asarray(embs, dtype=np.float32))
 
     def clear_cache(self) -> None:
         self._cache.clear()

@@ -16,6 +16,7 @@ from typing import List
 import numpy as np
 
 from ..core.graph import TGraph
+from ..core.kernels import SampleResult
 from ..core.sampler import TSampler
 from ..tensor.device import Device
 from .mfg import MFG
@@ -49,8 +50,8 @@ class TGLSampler:
         """Sample one hop for the given seeds into a standalone MFG."""
         nodes = np.asarray(nodes, dtype=np.int64)
         times = np.asarray(times, dtype=np.float64)
-        nbr, eid, ets, dstidx = self._kernel.sample_arrays(self.g.csr(), nodes, times)
-        return MFG(device, nodes, times, nbr, eid, ets, dstidx)
+        result: SampleResult = self._kernel.sample_arrays(self.g.csr(), nodes, times)
+        return MFG(device, nodes, times, *result)
 
     def sample(
         self,

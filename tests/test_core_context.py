@@ -36,7 +36,7 @@ class TestModes:
         tiny_ctx.embed_cache(0)
         tiny_ctx.time_table(123)
         tiny_ctx.reset()
-        assert tiny_ctx.cache_stats() == {}
+        assert tiny_ctx.stats().cache == {}
         assert tiny_ctx.time_table(123)["version"] is None
 
 

@@ -1,0 +1,261 @@
+"""Equivalence tests: vectorized kernels vs their per-row loop references.
+
+The kernel layer (:mod:`repro.core.kernels`) replaces the original per-pair
+Python loops; these tests pin the replacement to be *bit-identical* — same
+selections, same ordering, same RNG stream consumption — across shapes,
+empty neighborhoods, repeated keys, and cache eviction wraparound.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro import tensor as T
+from repro.core import op as tgop
+from repro.core.kernels import (
+    NodeTimeCache,
+    SampleResult,
+    _reference_sample_arrays,
+    _reference_unique_node_times,
+    _ReferenceNodeTimeCache,
+    sample_recent,
+    sample_uniform,
+    segment_searchsorted,
+    temporal_sample,
+    unique_node_times,
+)
+
+
+def make_csr(num_nodes=40, num_edges=400, seed=0, empty_frac=0.25):
+    """A synthetic temporal CSR with some nodes left edge-less."""
+    rng = np.random.default_rng(seed)
+    active = rng.random(num_nodes) >= empty_frac
+    active_nodes = np.flatnonzero(active)
+    if len(active_nodes) == 0:
+        active_nodes = np.array([0])
+    endpoints = rng.choice(active_nodes, size=num_edges)
+    order = np.lexsort((rng.random(num_edges), endpoints))
+    endpoints = endpoints[order]
+    indptr = np.searchsorted(endpoints, np.arange(num_nodes + 1)).astype(np.int64)
+    indices = rng.integers(0, num_nodes, size=num_edges).astype(np.int64)
+    eids = rng.permutation(num_edges).astype(np.int64)
+    # Ascending times within each node's segment; duplicates included.
+    etimes = np.empty(num_edges, dtype=np.float64)
+    for node in range(num_nodes):
+        seg = slice(indptr[node], indptr[node + 1])
+        etimes[seg] = np.sort(rng.integers(0, 50, size=indptr[node + 1] - indptr[node]))
+    return indptr, indices, eids, etimes
+
+
+def make_queries(num_nodes, n, seed=1):
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(0, num_nodes, size=n).astype(np.int64)
+    times = rng.integers(0, 60, size=n).astype(np.float64)
+    return nodes, times
+
+
+def assert_results_equal(a: SampleResult, b: SampleResult):
+    np.testing.assert_array_equal(a.srcnodes, b.srcnodes)
+    np.testing.assert_array_equal(a.eids, b.eids)
+    np.testing.assert_array_equal(a.etimes, b.etimes)
+    np.testing.assert_array_equal(a.dstindex, b.dstindex)
+
+
+class TestSegmentSearchsorted:
+    def test_matches_per_segment_searchsorted(self):
+        indptr, _, _, etimes = make_csr(seed=3)
+        nodes, times = make_queries(40, 100, seed=4)
+        lo, hi = indptr[nodes], indptr[nodes + 1]
+        got = segment_searchsorted(etimes, lo, hi, times)
+        want = np.array([
+            lo[i] + np.searchsorted(etimes[lo[i]:hi[i]], times[i], side="left")
+            for i in range(len(nodes))
+        ])
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty_segments(self):
+        values = np.array([1.0, 2.0])
+        out = segment_searchsorted(values, np.array([1, 0]), np.array([1, 0]), np.array([5.0, 5.0]))
+        np.testing.assert_array_equal(out, [1, 0])
+
+
+class TestSamplerEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 7, 20])
+    def test_recent_bit_identical(self, k):
+        indptr, indices, eids, etimes = make_csr(seed=k)
+        nodes, times = make_queries(40, 200, seed=k + 1)
+        got = sample_recent(indptr, indices, eids, etimes, nodes, times, k)
+        want = _reference_sample_arrays(indptr, indices, eids, etimes, nodes, times, k, "recent")
+        assert_results_equal(got, want)
+
+    @pytest.mark.parametrize("k", [1, 3, 7, 20])
+    def test_uniform_bit_identical(self, k):
+        indptr, indices, eids, etimes = make_csr(seed=10 + k)
+        nodes, times = make_queries(40, 200, seed=k)
+        got = sample_uniform(indptr, indices, eids, etimes, nodes, times, k,
+                             np.random.default_rng(77))
+        want = _reference_sample_arrays(indptr, indices, eids, etimes, nodes, times, k,
+                                        "uniform", rng=np.random.default_rng(77))
+        assert_results_equal(got, want)
+
+    def test_uniform_seeded_determinism(self):
+        indptr, indices, eids, etimes = make_csr(seed=5)
+        nodes, times = make_queries(40, 150, seed=6)
+        a = sample_uniform(indptr, indices, eids, etimes, nodes, times, 5,
+                           np.random.default_rng(123))
+        b = sample_uniform(indptr, indices, eids, etimes, nodes, times, 5,
+                           np.random.default_rng(123))
+        assert_results_equal(a, b)
+
+    def test_empty_query_set(self):
+        indptr, indices, eids, etimes = make_csr(seed=7)
+        empty = np.empty(0, dtype=np.int64)
+        for strategy in ("recent", "uniform"):
+            res = temporal_sample(indptr, indices, eids, etimes, empty,
+                                  empty.astype(np.float64), 5,
+                                  strategy=strategy, rng=np.random.default_rng(0))
+            assert res.num_rows == 0
+
+    def test_all_empty_neighborhoods(self):
+        indptr, indices, eids, etimes = make_csr(seed=8)
+        nodes, _ = make_queries(40, 50, seed=9)
+        times = np.zeros(len(nodes))  # nothing is strictly earlier than t=0
+        for strategy in ("recent", "uniform"):
+            got = temporal_sample(indptr, indices, eids, etimes, nodes, times, 5,
+                                  strategy=strategy, rng=np.random.default_rng(1))
+            want = _reference_sample_arrays(indptr, indices, eids, etimes, nodes, times, 5,
+                                            strategy, rng=np.random.default_rng(1))
+            assert got.num_rows == 0
+            assert_results_equal(got, want)
+
+    def test_strict_time_bound(self):
+        # Edges at exactly the query time are excluded (N(i, t) of Eq. 2).
+        indptr, indices, eids, etimes = make_csr(seed=11)
+        nodes, times = make_queries(40, 100, seed=12)
+        res = sample_recent(indptr, indices, eids, etimes, nodes, times, 50)
+        assert (res.etimes < times[res.dstindex]).all()
+
+    def test_tsampler_front_end_uses_kernel(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 6).block(tiny_ctx)
+        res = tg.TSampler(3).sample_arrays(tiny_graph.csr(), blk.dstnodes, blk.dsttimes)
+        assert isinstance(res, SampleResult)
+        csr = tiny_graph.csr()
+        want = _reference_sample_arrays(csr.indptr, csr.indices, csr.eids, csr.etimes,
+                                        blk.dstnodes, blk.dsttimes, 3, "recent")
+        assert_results_equal(res, want)
+
+
+class TestSampleResult:
+    def test_unpacks_as_four_tuple(self):
+        res = SampleResult(np.array([1]), np.array([2]), np.array([3.0]), np.array([0]))
+        srcnodes, eids, etimes, dstindex = res
+        assert srcnodes[0] == 1 and eids[0] == 2
+        assert res.num_rows == 1
+        assert res.srcnodes is srcnodes and res.dstindex is dstindex
+
+
+class TestDedupEquivalence:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        nodes = rng.integers(0, 20, size=300).astype(np.int64)
+        times = rng.integers(0, 10, size=300).astype(np.float64)
+        un, ut, inv = unique_node_times(nodes, times)
+        rn, rt, rinv = _reference_unique_node_times(nodes, times)
+        np.testing.assert_array_equal(un, rn)
+        np.testing.assert_array_equal(ut, rt)
+        np.testing.assert_array_equal(inv, rinv)
+        np.testing.assert_array_equal(un[inv], nodes)
+        np.testing.assert_array_equal(ut[inv], times)
+
+    def test_repeated_keys_collapse(self):
+        nodes = np.array([5, 5, 5, 5])
+        times = np.array([1.0, 1.0, 1.0, 1.0])
+        un, ut, inv = unique_node_times(nodes, times)
+        assert len(un) == 1
+        np.testing.assert_array_equal(inv, [0, 0, 0, 0])
+
+    def test_empty(self):
+        un, ut, inv = unique_node_times(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(un) == len(ut) == len(inv) == 0
+
+    def test_all_unique_is_identity_permutation(self):
+        nodes = np.array([3, 1, 2])
+        times = np.array([0.0, 0.0, 0.0])
+        un, ut, inv = unique_node_times(nodes, times)
+        np.testing.assert_array_equal(un, [1, 2, 3])
+        np.testing.assert_array_equal(un[inv], nodes)
+
+
+class TestCacheEquivalence:
+    @pytest.mark.parametrize("capacity", [1, 2, 7, 64])
+    def test_fuzz_against_reference(self, capacity):
+        rng = np.random.default_rng(capacity)
+        fast = NodeTimeCache(capacity)
+        ref = _ReferenceNodeTimeCache(capacity)
+        for _ in range(200):
+            n = int(rng.integers(1, 12))
+            nodes = rng.integers(0, 15, size=n).astype(np.int64)
+            times = rng.integers(0, 4, size=n).astype(np.float64)
+            if rng.random() < 0.5:
+                values = rng.random((n, 3)).astype(np.float32)
+                fast.store(nodes, times, values)
+                ref.store(nodes, times, values)
+            else:
+                fh, frows = fast.lookup(nodes, times)
+                rh, rrows = ref.lookup(nodes, times)
+                np.testing.assert_array_equal(fh, rh)
+                if frows is None or rrows is None:
+                    assert frows is None and rrows is None
+                else:
+                    np.testing.assert_array_equal(frows[fh], rrows[rh])
+        assert fast.hits == ref.hits
+        assert fast.lookups == ref.lookups
+        assert fast.num_entries == ref.num_entries
+
+    def test_in_batch_duplicates_take_last_value(self):
+        for cache in (NodeTimeCache(4), _ReferenceNodeTimeCache(4)):
+            cache.store(np.array([1, 1]), np.array([0.0, 0.0]),
+                        np.array([[1.0], [2.0]], dtype=np.float32))
+            _, rows = cache.lookup(np.array([1]), np.array([0.0]))
+            np.testing.assert_allclose(rows[0], [2.0])
+
+    def test_oversized_batch_wraparound(self):
+        # A single store larger than capacity keeps only the last rows,
+        # exactly as sequential FIFO insertion would.
+        for cache in (NodeTimeCache(3), _ReferenceNodeTimeCache(3)):
+            nodes = np.arange(8, dtype=np.int64)
+            times = np.zeros(8)
+            values = np.arange(8, dtype=np.float32).reshape(8, 1)
+            cache.store(nodes, times, values)
+            hit, rows = cache.lookup(nodes, times)
+            np.testing.assert_array_equal(hit, [False] * 5 + [True] * 3)
+            np.testing.assert_allclose(rows[5:].ravel(), [5.0, 6.0, 7.0])
+
+    def test_negative_zero_time_is_positive_zero(self):
+        cache = NodeTimeCache(4)
+        cache.store(np.array([1]), np.array([-0.0]), np.ones((1, 2), dtype=np.float32))
+        hit, _ = cache.lookup(np.array([1]), np.array([0.0]))
+        assert hit.all()
+
+
+class TestCacheDisabled:
+    """Regression: TContext(cache_limit=0) crashed with ZeroDivisionError."""
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_store_and_lookup_are_noops(self, capacity):
+        cache = NodeTimeCache(capacity)
+        assert not cache.enabled
+        cache.store(np.array([1]), np.array([0.0]), np.ones((1, 2), dtype=np.float32))
+        hit, rows = cache.lookup(np.array([1]), np.array([0.0]))
+        assert not hit.any()
+        assert rows is None
+
+    def test_context_with_zero_cache_limit_end_to_end(self, tiny_graph):
+        ctx = tg.TContext(tiny_graph, cache_limit=0)
+        ctx.eval()
+        blk = tg.TBlock(ctx, 0, np.array([0]), np.array([1.0]))
+        tgop.cache(ctx, blk)
+        blk.run_hooks(T.tensor([[1.0]]))  # historically raised ZeroDivisionError
+        blk2 = tg.TBlock(ctx, 0, np.array([0]), np.array([1.0]))
+        tgop.cache(ctx, blk2)
+        assert blk2.num_dst == 1  # nothing was cached, so nothing filtered

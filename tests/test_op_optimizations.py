@@ -132,7 +132,7 @@ class TestCache:
         blk.run_hooks(T.tensor([[1.0]]))
         blk = tg.TBlock(tiny_ctx, 0, np.array([0]), np.array([1.0]))
         tgop.cache(tiny_ctx, blk)
-        assert tiny_ctx.cache_stats()[0] == 0.5
+        assert tiny_ctx.stats().cache[0].hit_rate == 0.5
 
     def test_cache_after_sampling_rejected(self, tiny_ctx, tiny_graph):
         tiny_ctx.eval()

@@ -1,4 +1,4 @@
-"""Tests for operator-effectiveness counters on TContext."""
+"""Tests for the unified TContext instrumentation (``ctx.stats()``)."""
 
 import numpy as np
 import pytest
@@ -6,6 +6,7 @@ import pytest
 import repro.core as tg
 from repro import tensor as T
 from repro.core import op as tgop
+from repro.core.stats import CacheLayerStats, ContextStats
 from repro.data import NegativeSampler, get_dataset
 from repro.models import TGAT, OptFlags
 
@@ -15,19 +16,20 @@ class TestCounters:
         tiny_ctx.count("x", 3)
         tiny_ctx.count("x", 4)
         assert tiny_ctx.counters["x"] == 7
+        assert tiny_ctx.stats().counters["x"] == 7
 
     def test_dedup_updates_counters(self, tiny_ctx):
         blk = tg.TBlock(tiny_ctx, 0, np.array([0, 0, 1]), np.ones(3))
         tgop.dedup(blk)
-        stats = tiny_ctx.op_stats()
-        assert stats["dedup_rows_in"] == 3
-        assert stats["dedup_rows_out"] == 2
-        assert stats["dedup_reduction"] == pytest.approx(1 / 3)
+        stats = tiny_ctx.stats()
+        assert stats.counters["dedup_rows_in"] == 3
+        assert stats.counters["dedup_rows_out"] == 2
+        assert stats.dedup_reduction == pytest.approx(1 / 3)
 
     def test_dedup_counts_even_when_noop(self, tiny_ctx):
         blk = tg.TBlock(tiny_ctx, 0, np.array([0, 1]), np.array([1.0, 2.0]))
         tgop.dedup(blk)
-        assert tiny_ctx.op_stats()["dedup_reduction"] == 0.0
+        assert tiny_ctx.stats().dedup_reduction == 0.0
 
     def test_cache_hit_rate_in_stats(self, tiny_ctx):
         tiny_ctx.eval()
@@ -36,17 +38,97 @@ class TestCounters:
         blk.run_hooks(T.tensor([[1.0]]))
         blk2 = tg.TBlock(tiny_ctx, 0, np.array([0]), np.array([1.0]))
         tgop.cache(tiny_ctx, blk2)
-        assert tiny_ctx.op_stats()["cache_hit_rate"] == 0.5
+        stats = tiny_ctx.stats()
+        assert stats.cache_hit_rate == 0.5
+        assert stats.cache[0] == CacheLayerStats(hits=1, lookups=2, entries=1)
 
-    def test_reset_counters(self, tiny_ctx):
+    def test_reset_stats(self, tiny_ctx):
         tiny_ctx.count("x", 1)
-        tiny_ctx.reset_counters()
+        tiny_ctx.add_kernel_time("sample", 0.5)
+        tiny_ctx.reset_stats()
         assert tiny_ctx.counters == {}
+        assert tiny_ctx.stats().kernel_seconds == {}
+
+    def test_reset_stats_keeps_cache_contents(self, tiny_ctx):
+        tiny_ctx.eval()
+        cache = tiny_ctx.embed_cache(0)
+        cache.store(np.array([1]), np.array([1.0]), np.ones((1, 2), dtype=np.float32))
+        cache.lookup(np.array([1]), np.array([1.0]))
+        tiny_ctx.reset_stats()
+        stats = tiny_ctx.stats()
+        assert stats.cache[0].lookups == 0
+        assert stats.cache[0].entries == 1  # contents survive a stats reset
+        hit, _ = cache.lookup(np.array([1]), np.array([1.0]))
+        assert hit.all()
 
     def test_no_division_by_zero_without_activity(self, tiny_ctx):
-        stats = tiny_ctx.op_stats()
-        assert "dedup_reduction" not in stats
-        assert "cache_hit_rate" not in stats
+        stats = tiny_ctx.stats()
+        assert stats.dedup_reduction is None
+        assert stats.cache_hit_rate is None
+        flat = stats.as_dict()
+        assert "dedup_reduction" not in flat
+        assert "cache_hit_rate" not in flat
+
+    def test_snapshot_is_frozen_copy(self, tiny_ctx):
+        tiny_ctx.count("x", 1)
+        before = tiny_ctx.stats()
+        tiny_ctx.count("x", 1)
+        assert before.counters["x"] == 1
+        with pytest.raises(Exception):
+            before.counters = {}
+
+
+class TestKernelTimes:
+    def test_add_kernel_time_accumulates(self, tiny_ctx):
+        tiny_ctx.add_kernel_time("sample", 0.25)
+        tiny_ctx.add_kernel_time("sample", 0.25)
+        assert tiny_ctx.stats().kernel_seconds["sample"] == pytest.approx(0.5)
+
+    def test_sampling_records_kernel_time(self, tiny_ctx, tiny_graph):
+        blk = tg.TBatch(tiny_graph, 0, 4).block(tiny_ctx)
+        tg.TSampler(2).sample(blk)
+        assert tiny_ctx.stats().kernel_seconds["sample"] >= 0
+
+    def test_dedup_records_kernel_time(self, tiny_ctx):
+        blk = tg.TBlock(tiny_ctx, 0, np.array([0, 0, 1]), np.ones(3))
+        tgop.dedup(blk)
+        assert "dedup" in tiny_ctx.stats().kernel_seconds
+
+    def test_cache_records_kernel_time(self, tiny_ctx):
+        tiny_ctx.eval()
+        blk = tg.TBlock(tiny_ctx, 0, np.array([0]), np.array([1.0]))
+        tgop.cache(tiny_ctx, blk)
+        blk.run_hooks(T.tensor([[1.0]]))
+        kernels = tiny_ctx.stats().kernel_seconds
+        assert "cache_lookup" in kernels
+        assert "cache_store" in kernels
+
+
+class TestDeprecatedShims:
+    def test_op_stats_warns_and_matches(self, tiny_ctx):
+        blk = tg.TBlock(tiny_ctx, 0, np.array([0, 0, 1]), np.ones(3))
+        tgop.dedup(blk)
+        with pytest.warns(DeprecationWarning):
+            flat = tiny_ctx.op_stats()
+        assert flat == tiny_ctx.stats().as_dict()
+        assert flat["dedup_reduction"] == pytest.approx(1 / 3)
+
+    def test_cache_stats_warns_and_matches(self, tiny_ctx):
+        tiny_ctx.eval()
+        blk = tg.TBlock(tiny_ctx, 0, np.array([0]), np.array([1.0]))
+        tgop.cache(tiny_ctx, blk)
+        blk.run_hooks(T.tensor([[1.0]]))
+        blk2 = tg.TBlock(tiny_ctx, 0, np.array([0]), np.array([1.0]))
+        tgop.cache(tiny_ctx, blk2)
+        with pytest.warns(DeprecationWarning):
+            rates = tiny_ctx.cache_stats()
+        assert rates == {0: 0.5}
+
+    def test_reset_counters_warns_and_resets(self, tiny_ctx):
+        tiny_ctx.count("x", 1)
+        with pytest.warns(DeprecationWarning):
+            tiny_ctx.reset_counters()
+        assert tiny_ctx.counters == {}
 
 
 class TestEndToEndStats:
@@ -59,7 +141,9 @@ class TestEndToEndStats:
         batch = tg.TBatch(g, 1500, 1800)
         batch.neg_nodes = NegativeSampler.for_dataset(ds).sample(300)
         model(batch)
-        stats = ctx.op_stats()
+        stats = ctx.stats()
         # The scaled wiki graph has heavy duplication mid-stream.
-        assert stats["dedup_reduction"] > 0.3
-        assert stats["dedup_rows_in"] > stats["dedup_rows_out"] > 0
+        assert stats.dedup_reduction > 0.3
+        assert stats.counters["dedup_rows_in"] > stats.counters["dedup_rows_out"] > 0
+        # The sampling kernel ran and its time was attributed.
+        assert stats.kernel_seconds["sample"] > 0
