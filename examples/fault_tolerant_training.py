@@ -1,0 +1,144 @@
+"""Fault-tolerant training: injection, recovery, and bit-exact resume.
+
+Production training jobs fail in ways a benchmark harness never sees:
+a kernel throws once under memory pressure, a gradient turns NaN, a
+data-parallel worker disappears, the process itself is killed between
+checkpoints.  This example drives the resilience runtime
+(``repro.resilience`` + ``repro.bench.ResilientTrainer``) through all of
+them on a seeded TGN/wiki run and shows the recovered run is
+**bit-identical** to a fault-free run of the same seed:
+
+* a ``FaultInjector`` deterministically injects a transient sampling
+  kernel fault (retried from an in-RAM snapshot), a NaN-gradient batch
+  (rolled back to the last atomic checkpoint and replayed), and a
+  crashed data-parallel replica (shard redistributed to the survivors,
+  charged to the simulated clock);
+* a second run is hard-killed mid-epoch (``SimulatedProcessKill``) and
+  restarted with ``resume=True`` from the checkpoint's stream cursor —
+  parameters, node memory, mailbox, optimizer moments, and every RNG
+  stream land exactly where the uninterrupted run does;
+* repeated faults from one kernel site degrade it to the bit-identical
+  reference path (visible in ``ctx.stats().degraded``).
+
+Run:  python examples/fault_tolerant_training.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+
+def _fingerprint(exp):
+    return (
+        [p.data.copy() for p in exp.model.parameters()],
+        exp.g.mem.data.data.copy(),
+        exp.g.mailbox.mail.data.copy(),
+    )
+
+
+def _equal(a, b):
+    return (
+        all(np.array_equal(x, y) for x, y in zip(a[0], b[0]))
+        and np.array_equal(a[1], b[1])
+        and np.array_equal(a[2], b[2])
+    )
+
+
+def _build():
+    from repro.bench.experiments import Experiment, ExperimentConfig
+
+    cfg = ExperimentConfig(
+        model="tgn", dataset="wiki", framework="tglite+opt", epochs=2,
+        batch_size=300, dim_embed=8, dim_time=8, dim_mem=8, num_layers=1,
+        seed=7,
+    )
+    return Experiment(cfg)
+
+
+def _trainer(exp, ckdir, injector=None, num_replicas=1):
+    from repro.bench import ResilientTrainer
+
+    return ResilientTrainer(
+        exp.model, exp.g, exp.optimizer, exp.neg_sampler, batch_size=300,
+        checkpoint_dir=ckdir, checkpoint_every=2, injector=injector,
+        num_replicas=num_replicas,
+    )
+
+
+def main():
+    from repro.bench import ResilientTrainer  # noqa: F401 (import check)
+    from repro.resilience import FaultInjector, SimulatedProcessKill
+
+    workdir = tempfile.mkdtemp(prefix="resilience-demo-")
+    train_end = 900
+
+    # ---- reference: fault-free seeded run --------------------------------
+    exp = _build()
+    clean = _trainer(exp, os.path.join(workdir, "clean"), num_replicas=2)
+    clean_result = clean.train(epochs=2, train_end=train_end)
+    clean_fp = _fingerprint(exp)
+    exp.close()
+    print(f"fault-free run:   losses = "
+          f"{[round(e.train_loss, 6) for e in clean_result.epochs]}")
+
+    # ---- faulted run: kernel fault + NaN grads + worker crash ------------
+    injector = FaultInjector(
+        seed=11,
+        kernel_fault_batches=[(0, 1)],   # transient sampling-kernel fault
+        nan_grad_batches=[(0, 2)],       # poisons params -> rollback
+        worker_crashes=[(1, 1, 0)],      # replica 0 dies -> redistribute
+    )
+    exp = _build()
+    faulted = _trainer(exp, os.path.join(workdir, "faulted"),
+                       injector=injector, num_replicas=2)
+    faulted_result = faulted.train(epochs=2, train_end=train_end)
+    faulted_fp = _fingerprint(exp)
+    exp.close()
+    print(f"faulted run:      losses = "
+          f"{[round(e.train_loss, 6) for e in faulted_result.epochs]}")
+    for ev in faulted_result.events:
+        if ev.kind != "checkpoint":
+            print(f"  [{ev.kind:>14s}] epoch {ev.epoch} batch {ev.batch}  {ev.detail}")
+    print(f"recovered bit-identical to fault-free: "
+          f"{_equal(clean_fp, faulted_fp)}")
+
+    # ---- hard kill mid-epoch, then bit-exact resume ----------------------
+    ckdir = os.path.join(workdir, "killed")
+    exp = _build()
+    killer = FaultInjector(seed=5, process_kill_at=(1, 1))
+    try:
+        _trainer(exp, ckdir, injector=killer, num_replicas=2).train(
+            epochs=2, train_end=train_end
+        )
+    except SimulatedProcessKill as exc:
+        print(f"\nprocess killed at (epoch {exc.epoch}, batch {exc.batch}); "
+              f"restarting from checkpoint …")
+    exp.close()
+
+    exp = _build()  # a fresh "process"
+    resumed_result = _trainer(exp, ckdir, num_replicas=2).train(
+        epochs=2, train_end=train_end, resume=True
+    )
+    resumed_fp = _fingerprint(exp)
+    exp.close()
+    first = resumed_result.events[0]
+    print(f"resumed from (epoch {first.epoch}, batch {first.batch}); "
+          f"final state bit-identical: {_equal(clean_fp, resumed_fp)}")
+
+    # ---- persistent kernel fault: graceful degradation -------------------
+    exp = _build()
+    stubborn = FaultInjector(seed=2, kernel_fault_batches=[(0, 0), (0, 1), (0, 2)])
+    degraded_result = _trainer(
+        exp, os.path.join(workdir, "degraded"), injector=stubborn
+    ).train(epochs=1, train_end=train_end)
+    stats = exp.g.ctx.stats()
+    print(f"\nafter {stats.kernel_faults.get('kernel.sample', 0)} kernel faults: "
+          f"degraded sites = {stats.degraded}")
+    print(f"training still completed {len(degraded_result.epochs)} epoch(s) "
+          f"on the reference path")
+    exp.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ from .node_classification import (
     collect_source_embeddings,
     train_node_classifier,
 )
+from .resilient import ResilienceEvent, ResilientResult, ResilientTrainer
 from .timing import Breakdown, Timer
 from .trainer import (
     EpochResult,
@@ -27,6 +28,9 @@ __all__ = [
     "NodeClassifier",
     "collect_source_embeddings",
     "train_node_classifier",
+    "ResilienceEvent",
+    "ResilientResult",
+    "ResilientTrainer",
     "Breakdown",
     "Timer",
     "EpochResult",

@@ -1,20 +1,30 @@
 """Checkpointing: save/restore full training state to a single ``.npz``.
 
 Temporal models carry more state than parameters: resuming mid-stream
-requires node memory, mailbox contents (and ring cursors), and optimizer
-moments, or the replayed stream diverges.  ``save_checkpoint`` captures
-all of it; ``load_checkpoint`` restores in place.
+requires node memory, mailbox contents (and ring cursors), optimizer
+moments, every RNG stream consumed by training, and the stream cursor
+(epoch + batch index), or the replayed stream diverges.
+``save_checkpoint`` captures all of it; ``load_checkpoint`` restores in
+place and returns the stored metadata.
+
+Writes are **atomic and self-verifying**: the archive is written to
+``path + ".tmp"`` and renamed into place only once complete, so a write
+killed mid-flight never clobbers the previous checkpoint; a CRC32 of all
+array payloads is stored inside the archive and re-verified on load, so
+a truncated or bit-flipped file is rejected with a clean ``ValueError``
+naming the file instead of a numpy/zipfile internals error.
 """
 
 from __future__ import annotations
 
-import io
 import os
-from typing import Dict, Optional
+import zlib
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..nn import Adam, Module, Optimizer, SGD
+from ..resilience.hooks import poke as _poke
 
 __all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_arrays"]
 
@@ -22,8 +32,13 @@ _PREFIX_MODEL = "model/"
 _PREFIX_MEMORY = "memory/"
 _PREFIX_MAILBOX = "mailbox/"
 _PREFIX_OPTIM = "optim/"
+_PREFIX_RNG = "rng/"
 _META = "meta/format_version"
-_FORMAT_VERSION = 1
+_META_CRC = "meta/crc32"
+_STREAM = "stream/cursor"
+_FORMAT_VERSION = 2
+#: version-1 archives (no RNG/stream/CRC sections) still load.
+_COMPATIBLE_VERSIONS = (1, 2)
 
 
 def _optimizer_state(optimizer: Optimizer) -> Dict[str, np.ndarray]:
@@ -46,21 +61,86 @@ def _optimizer_state(optimizer: Optimizer) -> Dict[str, np.ndarray]:
 
 
 def _restore_optimizer(optimizer: Optimizer, state: Dict[str, np.ndarray]) -> None:
+    """Restore moments *exactly*: entries absent from the checkpoint are
+    dropped, so rolling back to an early checkpoint cannot leave stale
+    (or fault-poisoned) moments from the abandoned timeline behind."""
     if isinstance(optimizer, Adam):
-        if "t" in state:
-            optimizer._t = int(state["t"][0])
+        optimizer._m.clear()
+        optimizer._v.clear()
+        optimizer._t = int(state["t"][0]) if "t" in state else 0
         for i, p in enumerate(optimizer.params):
             if f"m/{i}" in state:
                 optimizer._m[id(p)] = state[f"m/{i}"].copy()
                 optimizer._v[id(p)] = state[f"v/{i}"].copy()
     elif isinstance(optimizer, SGD):
+        optimizer._velocity.clear()
         for i, p in enumerate(optimizer.params):
             if f"vel/{i}" in state:
                 optimizer._velocity[id(p)] = state[f"vel/{i}"].copy()
 
 
-def checkpoint_arrays(model: Module, graph=None, optimizer: Optional[Optimizer] = None) -> Dict[str, np.ndarray]:
-    """Assemble the flat array dict a checkpoint stores."""
+# ---- RNG state (bit-exact resume) -----------------------------------------------
+
+
+def _pack_generator(gen: np.random.Generator) -> np.ndarray:
+    """Serialize a PCG64-backed Generator's state to six uint64 words."""
+    state = gen.bit_generator.state
+    if state.get("bit_generator") != "PCG64":
+        raise ValueError(
+            f"can only checkpoint PCG64 generators, got {state.get('bit_generator')!r}"
+        )
+    words = []
+    for val in (state["state"]["state"], state["state"]["inc"]):  # 128-bit each
+        words.append(val & 0xFFFFFFFFFFFFFFFF)
+        words.append((val >> 64) & 0xFFFFFFFFFFFFFFFF)
+    words.append(int(state["has_uint32"]))
+    words.append(int(state["uinteger"]))
+    return np.array(words, dtype=np.uint64)
+
+
+def _restore_generator(gen: np.random.Generator, words: np.ndarray) -> None:
+    """Restore a Generator (in place) from :func:`_pack_generator` words."""
+    w = [int(x) for x in words]
+    gen.bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {"state": w[0] | (w[1] << 64), "inc": w[2] | (w[3] << 64)},
+        "has_uint32": w[4],
+        "uinteger": w[5],
+    }
+
+
+# ---- integrity ------------------------------------------------------------------
+
+
+def _crc32_of(arrays: Dict[str, np.ndarray]) -> int:
+    """CRC32 over every array's name, dtype, shape, and raw bytes."""
+    crc = 0
+    for key in sorted(arrays):
+        value = np.ascontiguousarray(arrays[key])
+        crc = zlib.crc32(key.encode(), crc)
+        crc = zlib.crc32(str(value.dtype).encode(), crc)
+        crc = zlib.crc32(str(value.shape).encode(), crc)
+        crc = zlib.crc32(value.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def checkpoint_arrays(
+    model: Module,
+    graph=None,
+    optimizer: Optional[Optimizer] = None,
+    generators: Optional[Dict[str, np.random.Generator]] = None,
+    stream: Optional[Tuple[int, int]] = None,
+) -> Dict[str, np.ndarray]:
+    """Assemble the flat array dict a checkpoint stores.
+
+    Args:
+        model: module whose ``state_dict`` is captured.
+        graph: optional graph; attached memory/mailbox state is captured.
+        optimizer: optional optimizer; moments are captured.
+        generators: named RNG streams (e.g. the global generator and the
+            negative sampler's) captured for bit-exact resume.
+        stream: ``(epoch, batch)`` cursor of the *next* batch to run.
+    """
     arrays: Dict[str, np.ndarray] = {_META: np.array([_FORMAT_VERSION])}
     for name, value in model.state_dict().items():
         arrays[_PREFIX_MODEL + name] = value
@@ -75,28 +155,89 @@ def checkpoint_arrays(model: Module, graph=None, optimizer: Optional[Optimizer] 
     if optimizer is not None:
         for key, value in _optimizer_state(optimizer).items():
             arrays[_PREFIX_OPTIM + key] = value
+    if generators:
+        for name, gen in generators.items():
+            arrays[_PREFIX_RNG + name] = _pack_generator(gen)
+    if stream is not None:
+        arrays[_STREAM] = np.array(list(stream), dtype=np.int64)
     return arrays
 
 
-def save_checkpoint(path: str, model: Module, graph=None, optimizer: Optional[Optimizer] = None) -> None:
-    """Write model + memory/mailbox + optimizer state to *path* (.npz)."""
-    arrays = checkpoint_arrays(model, graph=graph, optimizer=optimizer)
+def save_checkpoint(
+    path: str,
+    model: Module,
+    graph=None,
+    optimizer: Optional[Optimizer] = None,
+    generators: Optional[Dict[str, np.random.Generator]] = None,
+    stream: Optional[Tuple[int, int]] = None,
+) -> None:
+    """Atomically write model + memory/mailbox + optimizer + RNG state.
+
+    The archive is staged at ``path + ".tmp"`` and renamed over *path*
+    only after the write completes, so an interrupted save leaves any
+    previous checkpoint at *path* intact and loadable.
+    """
+    arrays = checkpoint_arrays(
+        model, graph=graph, optimizer=optimizer, generators=generators, stream=stream
+    )
+    arrays[_META_CRC] = np.array([_crc32_of(arrays)], dtype=np.uint64)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **arrays)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _poke("checkpoint.kill", path=tmp)  # fault site: may truncate + raise
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
 
 
-def load_checkpoint(path: str, model: Module, graph=None, optimizer: Optional[Optimizer] = None) -> None:
+def _read_archive(path: str) -> Dict[str, np.ndarray]:
+    """Load and integrity-check an archive; clean errors on corruption."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no checkpoint at {path!r}")
+    try:
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except Exception as exc:
+        raise ValueError(
+            f"checkpoint file {path!r} is corrupted or truncated ({exc})"
+        ) from exc
+    stored_crc = arrays.pop(_META_CRC, None)
+    if stored_crc is not None and int(stored_crc[0]) != _crc32_of(arrays):
+        raise ValueError(
+            f"checkpoint file {path!r} failed its CRC32 integrity check "
+            "(partial write or bit corruption)"
+        )
+    return arrays
+
+
+def load_checkpoint(
+    path: str,
+    model: Module,
+    graph=None,
+    optimizer: Optional[Optimizer] = None,
+    generators: Optional[Dict[str, np.random.Generator]] = None,
+) -> Dict[str, object]:
     """Restore state saved by :func:`save_checkpoint` (in place).
 
-    Raises ``KeyError``/``ValueError`` on structural mismatches (missing
-    parameters, wrong shapes), so silently loading the wrong checkpoint is
-    not possible.
+    Raises ``ValueError`` on a corrupted/truncated file or a CRC
+    mismatch, and ``KeyError``/``ValueError`` on structural mismatches
+    (missing parameters, wrong shapes, state the target cannot hold), so
+    silently loading the wrong checkpoint is not possible.
+
+    Returns a metadata dict with the archive ``"version"`` and the
+    ``"stream"`` cursor (``(epoch, batch)`` tuple, or ``None`` for
+    checkpoints taken outside a resumable training loop).
     """
-    with np.load(path) as archive:
-        arrays = {key: archive[key] for key in archive.files}
+    arrays = _read_archive(path)
     version = int(arrays.pop(_META, np.array([0]))[0])
-    if version != _FORMAT_VERSION:
+    if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported checkpoint format version: {version}")
     model_state = {
         key[len(_PREFIX_MODEL):]: value
@@ -104,18 +245,33 @@ def load_checkpoint(path: str, model: Module, graph=None, optimizer: Optional[Op
         if key.startswith(_PREFIX_MODEL)
     }
     model.load_state_dict(model_state)
-    if graph is not None and graph.mem is not None:
-        if _PREFIX_MEMORY + "data" not in arrays:
+    has_memory = _PREFIX_MEMORY + "data" in arrays
+    has_mailbox = _PREFIX_MAILBOX + "mail" in arrays
+    if graph is not None:
+        if graph.mem is not None and not has_memory:
             raise KeyError("checkpoint has no memory state but the graph expects it")
-        graph.mem.data.data[...] = arrays[_PREFIX_MEMORY + "data"]
-        graph.mem.time[...] = arrays[_PREFIX_MEMORY + "time"]
-    if graph is not None and graph.mailbox is not None:
-        if _PREFIX_MAILBOX + "mail" not in arrays:
+        if graph.mem is None and has_memory:
+            raise ValueError(
+                f"checkpoint {path!r} contains node-memory state but the "
+                "target graph has no Memory attached (call g.set_memory "
+                "before loading, or it would be silently dropped)"
+            )
+        if graph.mailbox is not None and not has_mailbox:
             raise KeyError("checkpoint has no mailbox state but the graph expects it")
-        graph.mailbox.mail.data[...] = arrays[_PREFIX_MAILBOX + "mail"]
-        graph.mailbox.time[...] = arrays[_PREFIX_MAILBOX + "time"]
-        if graph.mailbox._next_slot is not None:
-            graph.mailbox._next_slot[...] = arrays[_PREFIX_MAILBOX + "cursor"]
+        if graph.mailbox is None and has_mailbox:
+            raise ValueError(
+                f"checkpoint {path!r} contains mailbox state but the "
+                "target graph has no Mailbox attached (call g.set_mailbox "
+                "before loading, or it would be silently dropped)"
+            )
+        if graph.mem is not None:
+            graph.mem.data.data[...] = arrays[_PREFIX_MEMORY + "data"]
+            graph.mem.time[...] = arrays[_PREFIX_MEMORY + "time"]
+        if graph.mailbox is not None:
+            graph.mailbox.mail.data[...] = arrays[_PREFIX_MAILBOX + "mail"]
+            graph.mailbox.time[...] = arrays[_PREFIX_MAILBOX + "time"]
+            if graph.mailbox._next_slot is not None:
+                graph.mailbox._next_slot[...] = arrays[_PREFIX_MAILBOX + "cursor"]
     if optimizer is not None:
         optim_state = {
             key[len(_PREFIX_OPTIM):]: value
@@ -123,3 +279,17 @@ def load_checkpoint(path: str, model: Module, graph=None, optimizer: Optional[Op
             if key.startswith(_PREFIX_OPTIM)
         }
         _restore_optimizer(optimizer, optim_state)
+    if generators:
+        for name, gen in generators.items():
+            key = _PREFIX_RNG + name
+            if key not in arrays:
+                raise KeyError(
+                    f"checkpoint has no RNG state for generator {name!r} "
+                    "(saved without generators?)"
+                )
+            _restore_generator(gen, arrays[key])
+    stream = arrays.get(_STREAM)
+    return {
+        "version": version,
+        "stream": (int(stream[0]), int(stream[1])) if stream is not None else None,
+    }

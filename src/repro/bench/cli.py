@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="after training, time test-set inference")
     parser.add_argument("--capacity-mb", type=int, default=None,
                         help="simulated device capacity in MiB (for OOM studies)")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="train under the fault-tolerant runtime, "
+                             "checkpointing every N batches")
+    parser.add_argument("--checkpoint-dir", default="checkpoints",
+                        help="directory for the rolling checkpoint "
+                             "(default: ./checkpoints)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume bit-exactly from the checkpoint in "
+                             "--checkpoint-dir (implies the fault-tolerant "
+                             "runtime)")
     parser.add_argument("--list-datasets", action="store_true",
                         help="print dataset statistics and exit")
     return parser
@@ -90,11 +100,22 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"layers={cfg.num_layers}, epochs={cfg.epochs})")
     exp = Experiment(cfg)
     try:
-        result = exp.run_training()
+        if args.resume or args.checkpoint_every is not None:
+            result = exp.run_resilient_training(
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every or 50,
+                resume=args.resume,
+            )
+        else:
+            result = exp.run_training()
         for e in result.epochs:
             print(f"  epoch {e.epoch}: train {e.train_seconds:7.2f}s  "
                   f"loss {e.train_loss:.4f}  val AP {e.eval_ap:.4f}")
         print(f"best val AP: {result.best_ap:.4f}")
+        if hasattr(result, "events"):
+            print(f"resilience: {result.checkpoints} checkpoints, "
+                  f"{result.retries} retries, {result.rollbacks} rollbacks, "
+                  f"{result.redistributions} redistributions")
         if args.inference:
             seconds, ap = exp.run_test_inference()
             print(f"test inference: {seconds:.2f}s  AP {ap:.4f}")

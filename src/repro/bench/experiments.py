@@ -186,6 +186,30 @@ class Experiment:
             train_end=self.train_end, eval_end=self.val_end,
         )
 
+    def run_resilient_training(
+        self,
+        checkpoint_dir: str,
+        checkpoint_every: int = 50,
+        resume: bool = False,
+        injector=None,
+    ):
+        """Train under the fault-tolerant runtime (checkpoint + recovery).
+
+        Returns a :class:`~repro.bench.resilient.ResilientResult`; pass
+        ``resume=True`` to continue a previous run from its checkpoint.
+        """
+        from .resilient import ResilientTrainer
+
+        trainer = ResilientTrainer(
+            self.model, self.g, self.optimizer, self.neg_sampler,
+            batch_size=self.cfg.batch_size, checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every, injector=injector,
+        )
+        return trainer.train(
+            epochs=self.cfg.epochs, train_end=self.train_end,
+            eval_end=self.val_end, resume=resume,
+        )
+
     def run_test_inference(self, warm: bool = True) -> Tuple[float, float]:
         """Time test-split inference; returns ``(seconds, AP)``.
 

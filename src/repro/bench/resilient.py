@@ -1,0 +1,516 @@
+"""Fault-tolerant training runtime: retry, rollback, and degradation.
+
+:class:`ResilientTrainer` wraps the §5 training protocol (same batch
+stream, loss, and evaluation as :func:`repro.bench.trainer.train`) in a
+recovery loop built on three mechanisms:
+
+* **Retry** — a :class:`~repro.resilience.errors.TransientKernelError`
+  raised mid-batch restores an in-RAM snapshot of everything the batch
+  mutates before failing (node memory, mailbox, RNG streams) and reruns
+  the batch, with capped exponential backoff.  Because the snapshot is
+  bit-exact and injected faults are transient, the retried batch
+  produces exactly the numbers the fault-free run would have.
+* **Rollback** — a non-finite loss or parameter after the optimizer
+  step (NaN gradients poison both parameters *and* optimizer moments,
+  so retrying the batch cannot help) rolls the full training state back
+  to the last on-disk checkpoint — parameters, memory, mailbox,
+  optimizer moments, RNG streams, stream cursor — and replays forward.
+* **Degradation** — repeated faults from one kernel site trip the
+  context's degradation threshold; subsequent batches route through the
+  uncached reference path for that site (bit-identical results, no
+  further exposure to the faulting kernel), recorded in
+  ``ctx.stats().degraded``.
+
+Checkpoints are written every ``checkpoint_every`` batches through
+:func:`repro.bench.checkpoint.save_checkpoint` (atomic, CRC-verified)
+and carry the RNG + cursor state needed for bit-exact mid-epoch resume:
+a training process hard-killed between checkpoints restarts with
+``resume=True`` and continues on the same trajectory.  State invariants
+(:func:`repro.resilience.validate.validate_state`) are checked before
+each checkpoint so corrupted state is never persisted — a violation
+clears the derived caches and rolls back instead.
+
+With ``num_replicas > 1`` batches run through
+:class:`~repro.distributed.data_parallel.SimulatedDataParallel`;
+crashed replicas (``worker.crash`` faults) have their shards
+redistributed to the survivors, charging the simulated parallel clock
+while leaving the synchronous-SGD numerics untouched.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import TBatch, TGraph
+from ..data import NegativeSampler
+from ..distributed import SimulatedDataParallel
+from ..nn import Optimizer, bce_with_logits
+from ..resilience import hooks
+from ..resilience.errors import (
+    CheckpointWriteAborted,
+    DivergenceError,
+    StateValidationError,
+    TransientKernelError,
+)
+from ..resilience.validate import validate_state
+from ..tensor import Tensor
+from ..tensor.random import default_generator
+from .checkpoint import load_checkpoint, save_checkpoint
+from .trainer import EpochResult, TrainResult, _mark_time_encoders_updated, evaluate
+
+__all__ = ["ResilienceEvent", "ResilientResult", "ResilientTrainer"]
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One recovery action taken by the trainer.
+
+    ``kind`` is one of: ``retry``, ``rollback``, ``checkpoint``,
+    ``checkpoint-aborted``, ``validation``, ``degraded``,
+    ``redistribution``, ``resume``.
+    """
+
+    kind: str
+    epoch: int
+    batch: int
+    detail: str = ""
+
+
+@dataclass
+class ResilientResult(TrainResult):
+    """Training results plus the recovery actions that produced them."""
+
+    events: List[ResilienceEvent] = field(default_factory=list)
+    #: simulated N-replica wall time (only accumulated when
+    #: ``num_replicas > 1``); includes redistribution charges.
+    simulated_parallel_seconds: float = 0.0
+
+    def _count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def retries(self) -> int:
+        return self._count("retry")
+
+    @property
+    def rollbacks(self) -> int:
+        return self._count("rollback")
+
+    @property
+    def checkpoints(self) -> int:
+        return self._count("checkpoint")
+
+    @property
+    def redistributions(self) -> int:
+        return self._count("redistribution")
+
+
+class ResilientTrainer:
+    """Checkpointing training loop that survives injected (or real) faults.
+
+    Args:
+        model: trainer-compatible model (``forward(batch)->(pos,neg)``,
+            ``reset_state()``).
+        g: the temporal graph (attached memory/mailbox is checkpointed).
+        optimizer: optimizer over the model's parameters.
+        neg_sampler: negative sampler; its RNG stream is checkpointed.
+        batch_size: chronological batch size.
+        checkpoint_dir: directory for the rolling checkpoint file.
+        checkpoint_every: batches between checkpoints (a checkpoint is
+            always taken at the start of each epoch).
+        injector: optional :class:`~repro.resilience.FaultInjector` to
+            install for the duration of ``train`` (one may instead be
+            installed externally as a context manager).
+        max_retries: transient-fault retries per batch before giving up;
+            also caps repeated rollbacks triggered at one stream position.
+        backoff_base: first retry's backoff sleep in seconds (0 disables
+            sleeping; retry decisions stay deterministic either way).
+        backoff_cap: upper bound on a single backoff sleep.
+        num_replicas: >1 routes batches through simulated data-parallel
+            execution (enables worker crash/straggler fault sites).
+        interconnect_bandwidth: all-reduce cost model, forwarded to
+            :class:`~repro.distributed.SimulatedDataParallel`.
+        validate_on_checkpoint: run state-invariant validation before
+            every checkpoint; violations veto the write and roll back.
+        extra_generators: additional named RNG streams to checkpoint and
+            snapshot (e.g. a model sampler's ``_rng`` under uniform
+            neighbor sampling).
+    """
+
+    CHECKPOINT_NAME = "resilient.npz"
+
+    def __init__(
+        self,
+        model,
+        g: TGraph,
+        optimizer: Optimizer,
+        neg_sampler: NegativeSampler,
+        batch_size: int,
+        checkpoint_dir: str,
+        checkpoint_every: int = 50,
+        injector=None,
+        max_retries: int = 3,
+        backoff_base: float = 0.0,
+        backoff_cap: float = 1.0,
+        num_replicas: int = 1,
+        interconnect_bandwidth: float = 1.0e9,
+        validate_on_checkpoint: bool = True,
+        extra_generators: Optional[Dict[str, np.random.Generator]] = None,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.model = model
+        self.g = g
+        self.optimizer = optimizer
+        self.neg_sampler = neg_sampler
+        self.batch_size = batch_size
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.injector = injector
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.num_replicas = num_replicas
+        self.validate_on_checkpoint = validate_on_checkpoint
+        self.extra_generators = dict(extra_generators or {})
+        self._dp = (
+            SimulatedDataParallel(model, optimizer, num_replicas, interconnect_bandwidth)
+            if num_replicas > 1
+            else None
+        )
+
+    # ---- state plumbing ---------------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.checkpoint_dir, self.CHECKPOINT_NAME)
+
+    def _generators(self) -> Dict[str, np.random.Generator]:
+        # Fetched lazily every time: manual_seed rebinds the global
+        # generator and NegativeSampler.reset() rebuilds its stream.
+        return {
+            "global": default_generator(),
+            "negative": self.neg_sampler._rng,
+            **self.extra_generators,
+        }
+
+    def _snapshot(self) -> dict:
+        """In-RAM copy of everything one batch mutates before the step."""
+        snap = {
+            "rng": {
+                name: copy.deepcopy(gen.bit_generator.state)
+                for name, gen in self._generators().items()
+            }
+        }
+        if self.g.mem is not None:
+            snap["mem"] = (self.g.mem.data.data.copy(), self.g.mem.time.copy())
+        if self.g.mailbox is not None:
+            mb = self.g.mailbox
+            snap["mailbox"] = (
+                mb.mail.data.copy(),
+                mb.time.copy(),
+                None if mb._next_slot is None else mb._next_slot.copy(),
+            )
+        return snap
+
+    def _restore_snapshot(self, snap: dict) -> None:
+        for name, gen in self._generators().items():
+            gen.bit_generator.state = copy.deepcopy(snap["rng"][name])
+        if "mem" in snap:
+            self.g.mem.data.data[...] = snap["mem"][0]
+            self.g.mem.time[...] = snap["mem"][1]
+        if "mailbox" in snap:
+            mb = self.g.mailbox
+            mb.mail.data[...] = snap["mailbox"][0]
+            mb.time[...] = snap["mailbox"][1]
+            if mb._next_slot is not None:
+                mb._next_slot[...] = snap["mailbox"][2]
+
+    def _clear_derived_caches(self) -> None:
+        """Drop inference-only embed caches (derived state, never
+        checkpointed) so corrupt or stale entries cannot survive."""
+        ctx = getattr(self.g, "ctx", None)
+        if ctx is not None:
+            ctx._embed_caches.clear()
+
+    # ---- recovery actions -------------------------------------------------------
+
+    def _write_checkpoint(self, result: ResilientResult, epoch: int, batch: int) -> str:
+        """Validate + atomically persist; returns the outcome kind."""
+        if self.validate_on_checkpoint:
+            violations = validate_state(self.g)
+            if violations:
+                result.events.append(
+                    ResilienceEvent("validation", epoch, batch, "; ".join(violations[:3]))
+                )
+                if not os.path.exists(self.checkpoint_path):
+                    # Nothing to roll back to: the very first state of the
+                    # run is already invalid, which is not recoverable.
+                    raise StateValidationError(violations)
+                return "validation"
+        try:
+            save_checkpoint(
+                self.checkpoint_path,
+                self.model,
+                graph=self.g,
+                optimizer=self.optimizer,
+                generators=self._generators(),
+                stream=(epoch, batch),
+            )
+        except CheckpointWriteAborted as exc:
+            result.events.append(
+                ResilienceEvent("checkpoint-aborted", epoch, batch, str(exc))
+            )
+            return "checkpoint-aborted"
+        result.events.append(ResilienceEvent("checkpoint", epoch, batch))
+        return "checkpoint"
+
+    def _rollback(
+        self, result: ResilientResult, epoch: int, batch: int, reason: str
+    ) -> Tuple[int, int]:
+        """Restore the last checkpoint; returns its stream cursor."""
+        self._clear_derived_caches()
+        meta = load_checkpoint(
+            self.checkpoint_path,
+            self.model,
+            graph=self.g,
+            optimizer=self.optimizer,
+            generators=self._generators(),
+        )
+        _mark_time_encoders_updated(self.model)
+        target = meta["stream"]
+        if target is None:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path!r} carries no stream "
+                "cursor; cannot roll back"
+            )
+        result.events.append(
+            ResilienceEvent(
+                "rollback",
+                epoch,
+                batch,
+                f"{reason}; replay from (epoch {target[0]}, batch {target[1]})",
+            )
+        )
+        return target
+
+    def _guard_divergence(self, loss_value: float) -> None:
+        """Raise DivergenceError on non-finite loss or parameters."""
+        bad = []
+        if not np.isfinite(loss_value):
+            bad.append(f"loss={loss_value}")
+        for i, p in enumerate(self.model.parameters()):
+            if not np.isfinite(p.data).all():
+                bad.append(f"param[{i}] non-finite")
+                break
+        if bad:
+            raise DivergenceError("divergence detected: " + ", ".join(bad))
+
+    # ---- batch execution --------------------------------------------------------
+
+    def _run_batch(self, result: ResilientResult, epoch: int, b: int,
+                   train_end: int) -> float:
+        """Forward/backward/step for one (freshly built) batch."""
+        lo = b * self.batch_size
+        batch = TBatch(self.g, lo, min(lo + self.batch_size, train_end))
+        if self._dp is not None:
+            step = self._dp.train_step(batch, self.neg_sampler)
+            result.simulated_parallel_seconds += step.simulated_parallel_seconds
+            survivors = len(step.shards) - len(step.crashed_replicas)
+            for replica in step.crashed_replicas:
+                result.events.append(
+                    ResilienceEvent(
+                        "redistribution", epoch, b,
+                        f"replica {replica} crashed; shard redistributed to "
+                        f"{survivors} survivors",
+                    )
+                )
+            loss_value = step.loss
+        else:
+            self.model.train()
+            batch.neg_nodes = self.neg_sampler.sample(len(batch))
+            self.optimizer.zero_grad()
+            pos, neg = self.model(batch)
+            loss = bce_with_logits(
+                pos, Tensor(np.ones(len(batch), dtype=np.float32), device=pos.device)
+            ) + bce_with_logits(
+                neg, Tensor(np.zeros(len(batch), dtype=np.float32), device=neg.device)
+            )
+            loss.backward()
+            self.optimizer.step()
+            loss_value = loss.item()
+        _mark_time_encoders_updated(self.model)
+        self._guard_divergence(loss_value)
+        return loss_value
+
+    def _attempt_batch(self, result: ResilientResult, epoch: int, b: int,
+                       train_end: int) -> float:
+        """Run one batch with snapshot-restore retries on transient faults."""
+        snap = self._snapshot()
+        ctx = getattr(self.g, "ctx", None)
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._run_batch(result, epoch, b, train_end)
+            except TransientKernelError as exc:
+                self._restore_snapshot(snap)
+                if ctx is not None and ctx.record_kernel_fault(exc.site):
+                    result.events.append(
+                        ResilienceEvent(
+                            "degraded", epoch, b,
+                            f"{exc.site} degraded to reference path after "
+                            f"{ctx.degrade_threshold} faults",
+                        )
+                    )
+                if attempt >= self.max_retries:
+                    raise
+                result.events.append(
+                    ResilienceEvent("retry", epoch, b, f"{exc.site} (attempt {attempt + 1})")
+                )
+                if self.backoff_base > 0:
+                    time.sleep(min(self.backoff_cap, self.backoff_base * 2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _evaluate_with_retry(
+        self, result: ResilientResult, epoch: int, n_batches: int,
+        train_end: int, eval_end: int,
+    ) -> Tuple[float, float]:
+        """Evaluation with whole-pass snapshot retry (eval mutates memory)."""
+        snap = self._snapshot()
+        for attempt in range(self.max_retries + 1):
+            try:
+                return evaluate(
+                    self.model, self.g, self.neg_sampler, self.batch_size,
+                    start=train_end, stop=eval_end,
+                )
+            except TransientKernelError as exc:
+                self._restore_snapshot(snap)
+                if attempt >= self.max_retries:
+                    raise
+                result.events.append(
+                    ResilienceEvent(
+                        "retry", epoch, n_batches,
+                        f"{exc.site} during evaluation (attempt {attempt + 1})",
+                    )
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ---- main loop --------------------------------------------------------------
+
+    def train(
+        self,
+        epochs: int,
+        train_end: int,
+        eval_end: Optional[int] = None,
+        resume: bool = False,
+    ) -> ResilientResult:
+        """Run the fault-tolerant training loop.
+
+        Args:
+            epochs: total epochs (an interrupted run resumed with
+                ``resume=True`` still counts from epoch 0).
+            train_end: training edges are ``[0, train_end)``.
+            eval_end: per-epoch evaluation over ``[train_end, eval_end)``.
+            resume: load ``checkpoint_path`` and continue bit-exactly
+                from its stream cursor instead of starting fresh.
+        """
+        if train_end <= 0:
+            raise ValueError("train_end must be positive")
+        result = ResilientResult()
+        n_batches = -(-train_end // self.batch_size)
+        epoch, b = 0, 0
+        # True when the state at the loop head was restored from a
+        # checkpoint (resume or rollback): the checkpoint already holds
+        # the post-reset epoch state, so the b==0 reset must be skipped.
+        restored = False
+        if resume:
+            meta = load_checkpoint(
+                self.checkpoint_path,
+                self.model,
+                graph=self.g,
+                optimizer=self.optimizer,
+                generators=self._generators(),
+            )
+            _mark_time_encoders_updated(self.model)
+            self._clear_derived_caches()
+            if meta["stream"] is None:
+                raise ValueError(
+                    f"checkpoint {self.checkpoint_path!r} carries no stream "
+                    "cursor; cannot resume"
+                )
+            epoch, b = meta["stream"]
+            restored = True
+            result.events.append(
+                ResilienceEvent("resume", epoch, b, f"resumed from {self.checkpoint_path}")
+            )
+
+        own_injector = self.injector is not None and hooks.active() is not self.injector
+        if own_injector:
+            hooks.install(self.injector)
+        try:
+            epoch_seconds = 0.0
+            epoch_losses: Dict[int, float] = {}
+            rollback_streak: Dict[Tuple[int, int], int] = {}
+            while epoch < epochs:
+                if b == 0 and not restored:
+                    self.model.reset_state()
+                    self.neg_sampler.reset()
+                    epoch_seconds = 0.0
+                    epoch_losses = {}
+                restored = False
+                injector = hooks.active()
+                if injector is not None:
+                    injector.advance(epoch, b)
+                hooks.poke("trainer.batch", epoch=epoch, batch=b)
+                if b % self.checkpoint_every == 0:
+                    outcome = self._write_checkpoint(result, epoch, b)
+                    if outcome == "validation":
+                        # Corrupted state must never be trained on: the
+                        # derived caches are dropped and the stream
+                        # replays from the last good checkpoint (there is
+                        # always one at the start of the current epoch).
+                        epoch, b = self._rollback(result, epoch, b, "state validation failed")
+                        epoch_losses = {k: v for k, v in epoch_losses.items() if k < b}
+                        restored = True
+                        continue
+                t0 = time.perf_counter()
+                try:
+                    epoch_losses[b] = self._attempt_batch(result, epoch, b, train_end)
+                except DivergenceError as exc:
+                    key = (epoch, b)
+                    rollback_streak[key] = rollback_streak.get(key, 0) + 1
+                    if rollback_streak[key] > self.max_retries:
+                        raise
+                    epoch, b = self._rollback(result, epoch, b, str(exc))
+                    # Replayed batches recompute their losses from the
+                    # rollback target on; drop the abandoned entries.
+                    epoch_losses = {k: v for k, v in epoch_losses.items() if k < b}
+                    restored = True
+                    continue
+                epoch_seconds += time.perf_counter() - t0
+                b += 1
+                if b >= n_batches:
+                    eval_s, ap = (0.0, 0.0)
+                    if eval_end is not None and eval_end > train_end:
+                        eval_s, ap = self._evaluate_with_retry(
+                            result, epoch, n_batches, train_end, eval_end
+                        )
+                    mean_loss = (
+                        float(np.mean(list(epoch_losses.values()))) if epoch_losses else 0.0
+                    )
+                    result.epochs.append(
+                        EpochResult(epoch, epoch_seconds, mean_loss, eval_s, ap)
+                    )
+                    epoch += 1
+                    b = 0
+        finally:
+            if own_injector:
+                hooks.uninstall(self.injector)
+        return result

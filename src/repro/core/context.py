@@ -105,6 +105,12 @@ class TContext:
         self.counters: Dict[str, int] = {}
         #: accumulated wall-clock seconds per hot-path kernel.
         self._kernel_seconds: Dict[str, float] = {}
+        #: kernels downgraded to their uncached/reference paths, keyed by
+        #: site name ('kernel.sample', 'kernel.cache') with a reason.
+        self.degraded: Dict[str, str] = {}
+        #: transient faults after which a kernel is degraded.
+        self.degrade_threshold: int = 3
+        self._kernel_faults: Dict[str, int] = {}
 
     # ---- modes ------------------------------------------------------------------
 
@@ -153,6 +159,32 @@ class TContext:
         """Accumulate wall-clock seconds under a kernel name."""
         self._kernel_seconds[name] = self._kernel_seconds.get(name, 0.0) + seconds
 
+    # ---- graceful degradation ---------------------------------------------------
+
+    def record_kernel_fault(self, site: str) -> bool:
+        """Count one transient fault at *site*; degrade past the threshold.
+
+        After ``degrade_threshold`` transient faults the named kernel is
+        downgraded for the rest of the run: ``'kernel.sample'`` dispatches
+        to the loop-reference sampler (bit-identical, slower) and
+        ``'kernel.cache'`` disables embedding memoization (``op.cache``
+        becomes a no-op and lookups bypass the faulty table).  Returns
+        True on the call that triggers the downgrade.
+        """
+        count = self._kernel_faults.get(site, 0) + 1
+        self._kernel_faults[site] = count
+        self.count(f"kernel_faults:{site}", 1)
+        if site not in self.degraded and count >= self.degrade_threshold:
+            self.degraded[site] = (
+                f"degraded to fallback path after {count} transient faults"
+            )
+            return True
+        return False
+
+    def is_degraded(self, site: str) -> bool:
+        """Whether *site* has been downgraded to its fallback path."""
+        return site in self.degraded
+
     def stats(self) -> ContextStats:
         """One frozen snapshot of all context instrumentation.
 
@@ -168,6 +200,8 @@ class TContext:
             },
             pinned=PinnedPoolStats(self._pinned_pool.hits, self._pinned_pool.misses),
             kernel_seconds=dict(self._kernel_seconds),
+            degraded=dict(self.degraded),
+            kernel_faults=dict(self._kernel_faults),
         )
 
     def reset_stats(self) -> None:
@@ -237,6 +271,8 @@ class TContext:
         self._pinned_pool.clear()
         self._embed_caches.clear()
         self.clear_time_tables()
+        self.degraded.clear()
+        self._kernel_faults.clear()
 
     def __repr__(self) -> str:
         return f"TContext(device='{self.device}', training={self.training})"

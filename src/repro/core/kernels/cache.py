@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ...resilience.hooks import poke as _poke
 from .dedup import unique_node_times
 
 __all__ = ["NodeTimeCache", "_ReferenceNodeTimeCache"]
@@ -106,6 +107,7 @@ class NodeTimeCache:
         ``rows`` is ``None`` until the first store (or when disabled);
         otherwise a float32 ``(n, dim)`` array with hit rows filled in.
         """
+        _poke("kernel.cache")  # fault-injection site (no-op unless armed)
         start = time.perf_counter() if self._timer else 0.0
         n = len(nodes)
         self.lookups += n
@@ -128,6 +130,7 @@ class NodeTimeCache:
     def store(self, nodes: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
         if not self.enabled or len(nodes) == 0:
             return
+        _poke("kernel.cache")  # fault-injection site (no-op unless armed)
         start = time.perf_counter() if self._timer else 0.0
         values = np.asarray(values)
         self._ensure(values.shape[1])
@@ -152,6 +155,7 @@ class NodeTimeCache:
         new = np.flatnonzero(~present)
         m = len(new)
         if m == 0:
+            _poke("cache.corrupt", cache=self)
             if self._timer:
                 self._timer("cache_store", time.perf_counter() - start)
             return
@@ -183,6 +187,7 @@ class NodeTimeCache:
             self._nslots = cap if self._cursor + m >= cap else max(self._nslots, self._cursor + m)
             self._cursor = (self._cursor + m) % cap
             self._table_insert(kn, kt, slots_new)
+        _poke("cache.corrupt", cache=self)
         if self._timer:
             self._timer("cache_store", time.perf_counter() - start)
 
@@ -202,6 +207,36 @@ class NodeTimeCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.lookups = 0
+
+    def validate(self) -> list:
+        """Self-check table integrity; returns violations (empty = ok).
+
+        Verifies the ring/hash-table agreement a corrupted store would
+        break: finite stored rows, cursor and slot counts in range, every
+        table bucket pointing at a live slot, and every live slot's key
+        resolvable back to itself through the probe sequence.
+        """
+        errs = []
+        if self.capacity <= 0 or self._values is None:
+            return errs
+        n = self._nslots
+        if not 0 <= n <= self.capacity:
+            errs.append(f"slot count {n} outside [0, {self.capacity}]")
+            return errs
+        if not 0 <= self._cursor < max(1, self.capacity):
+            errs.append(f"ring cursor {self._cursor} outside [0, {self.capacity})")
+        if n and not np.isfinite(self._values[:n]).all():
+            errs.append("non-finite cached embedding rows")
+        if self._table is not None:
+            live = self._table[self._table >= 0]
+            if len(live) and (live.max() >= n):
+                errs.append("hash table references an unoccupied slot")
+            if n:
+                slots = np.arange(n, dtype=np.int64)
+                _, found = self._probe_find(self._slot_nodes[:n], self._slot_times[:n])
+                if not np.array_equal(found, slots):
+                    errs.append("stored keys are not resolvable through the hash table")
+        return errs
 
     # ---- internals --------------------------------------------------------------
 

@@ -27,6 +27,8 @@ from typing import NamedTuple, Optional
 
 import numpy as np
 
+from ...resilience.hooks import poke as _poke
+
 __all__ = [
     "SampleResult",
     "segment_searchsorted",
@@ -186,6 +188,7 @@ def temporal_sample(
     rng: Optional[np.random.Generator] = None,
 ) -> SampleResult:
     """Dispatch to :func:`sample_recent` / :func:`sample_uniform`."""
+    _poke("kernel.sample")  # fault-injection site (no-op unless armed)
     if strategy == "recent":
         return sample_recent(indptr, indices, eids, etimes, nodes, times, k)
     if strategy == "uniform":

@@ -88,6 +88,31 @@ class Mailbox:
         if self._next_slot is not None:
             self._next_slot[...] = 0
 
+    def validate(self) -> list:
+        """Self-check invariants; returns violations (empty = healthy).
+
+        Checked: finite stored messages and delivery times, and every
+        ring-buffer write cursor inside ``[0, slots)``.
+        """
+        errs = []
+        if not np.isfinite(self.mail.data).all():
+            errs.append("non-finite entries in stored messages")
+        if not np.isfinite(self.time).all():
+            errs.append("non-finite delivery times")
+        if self._next_slot is not None:
+            if self._next_slot.shape != (self.num_nodes,):
+                errs.append(
+                    f"cursor shape {self._next_slot.shape} != ({self.num_nodes},)"
+                )
+            elif len(self._next_slot) and (
+                self._next_slot.min() < 0 or self._next_slot.max() >= self.slots
+            ):
+                errs.append(
+                    f"ring cursor out of range [0, {self.slots}) "
+                    f"(min {self._next_slot.min()}, max {self._next_slot.max()})"
+                )
+        return errs
+
     def to(self, device: Union[str, Device]) -> "Mailbox":
         target = get_device(device)
         if target is not self.device:

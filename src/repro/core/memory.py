@@ -74,6 +74,36 @@ class Memory:
         self.data.data[...] = self._backup[0]
         self.time[...] = self._backup[1]
 
+    def validate(self, max_time: Optional[float] = None) -> list:
+        """Self-check invariants; returns violations (empty = healthy).
+
+        Checked: finite memory vectors, finite non-negative last-update
+        times, shapes matching the node count, and (when *max_time* is
+        given) no update time beyond the stream horizon — update times
+        are monotone per node under the streaming protocol, so the
+        horizon bound is the checkable residue of that invariant.
+        """
+        errs = []
+        if self.data.data.shape != (self.num_nodes, self.dim):
+            errs.append(
+                f"data shape {self.data.data.shape} != ({self.num_nodes}, {self.dim})"
+            )
+        if not np.isfinite(self.data.data).all():
+            errs.append("non-finite entries in node memory vectors")
+        if self.time.shape != (self.num_nodes,):
+            errs.append(f"time shape {self.time.shape} != ({self.num_nodes},)")
+        if not np.isfinite(self.time).all():
+            errs.append("non-finite last-update times")
+        elif len(self.time):
+            if self.time.min() < 0:
+                errs.append("negative last-update time")
+            if max_time is not None and max_time > 0 and self.time.max() > max_time:
+                errs.append(
+                    f"last-update time {self.time.max():g} beyond stream "
+                    f"horizon {max_time:g}"
+                )
+        return errs
+
     def to(self, device: Union[str, Device]) -> "Memory":
         """Move backing storage to *device* (pays simulated transfer cost)."""
         target = get_device(device)

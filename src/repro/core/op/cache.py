@@ -35,6 +35,11 @@ def cache(ctx: TContext, block: TBlock, layer: int = None) -> TBlock:
     """
     if ctx.training:
         return block
+    if ctx.is_degraded("kernel.cache"):
+        # Repeated cache-kernel faults downgraded this context to the
+        # uncached path: skip memoization entirely (results unchanged,
+        # recomputation cost returns; visible via ctx.stats().degraded).
+        return block
     if block.has_nbrs:
         raise RuntimeError("cache must be applied before sampling neighbors")
     store = ctx.embed_cache(block.layer_id if layer is None else layer)

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..tensor.random import fork_generator
 from .block import TBlock
-from .kernels import SampleResult, temporal_sample
+from .kernels import SampleResult, _reference_sample_arrays, temporal_sample
 
 __all__ = ["TSampler"]
 
@@ -49,7 +49,9 @@ class TSampler:
     def sample(self, block: TBlock) -> TBlock:
         """Fill *block* with sampled neighbor rows and return it."""
         start = time.perf_counter()
-        result = self.sample_arrays(block.g.csr(), block.dstnodes, block.dsttimes)
+        result = self.sample_arrays(
+            block.g.csr(), block.dstnodes, block.dsttimes, ctx=block.ctx
+        )
         block.ctx.add_kernel_time("sample", time.perf_counter() - start)
         block.set_nbrs(*result)
         return block
@@ -59,13 +61,31 @@ class TSampler:
         csr,
         nodes: np.ndarray,
         times: np.ndarray,
+        ctx=None,
     ) -> SampleResult:
         """Core sampling kernel on raw arrays.
 
         Returns a :class:`~repro.core.kernels.SampleResult` of flat
         ``(srcnodes, eids, etimes, dstindex)`` row arrays.  Destinations
         with no earlier edges simply contribute zero rows.
+
+        When the context has degraded the sampling kernel (repeated
+        transient faults; see ``TContext.record_kernel_fault``), the
+        bit-identical loop-reference implementation is used instead —
+        slower, but it shares no code with the faulty vectorized path.
         """
+        if ctx is not None and ctx.is_degraded("kernel.sample"):
+            return _reference_sample_arrays(
+                csr.indptr,
+                csr.indices,
+                csr.eids,
+                csr.etimes,
+                nodes,
+                times,
+                self.num_nbrs,
+                strategy=self.strategy,
+                rng=self._rng,
+            )
         return temporal_sample(
             csr.indptr,
             csr.indices,

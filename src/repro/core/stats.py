@@ -52,6 +52,11 @@ class ContextStats:
     pinned: PinnedPoolStats = PinnedPoolStats(0, 0)
     #: accumulated wall-clock seconds per kernel (sample, cache_lookup, ...).
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
+    #: kernels downgraded to fallback paths (site -> reason); see
+    #: :meth:`TContext.record_kernel_fault`.
+    degraded: Dict[str, str] = field(default_factory=dict)
+    #: transient kernel faults recorded per site.
+    kernel_faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -87,4 +92,6 @@ class ContextStats:
             flat["dedup_reduction"] = self.dedup_reduction
         if self.cache_hit_rate is not None:
             flat["cache_hit_rate"] = self.cache_hit_rate
+        for site in self.degraded:
+            flat[f"degraded:{site}"] = 1.0
         return flat

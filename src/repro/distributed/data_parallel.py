@@ -36,6 +36,7 @@ import numpy as np
 from ..core import TBatch, TGraph, iter_batches
 from ..data import NegativeSampler
 from ..nn import Optimizer, bce_with_logits
+from ..resilience.hooks import poke as _poke
 from ..tensor import Tensor
 
 __all__ = ["ShardResult", "StepResult", "SimulatedDataParallel"]
@@ -49,6 +50,9 @@ class ShardResult:
     edges: int
     seconds: float
     loss: float
+    #: True when this shard's replica crashed and the work was
+    #: redistributed to the surviving replicas (fault simulation).
+    redistributed: bool = False
 
 
 @dataclass
@@ -63,9 +67,28 @@ class StepResult:
         return sum(s.seconds for s in self.shards)
 
     @property
+    def crashed_replicas(self) -> List[int]:
+        """Replicas that crashed this step (their shards were redistributed)."""
+        return [s.replica for s in self.shards if s.redistributed]
+
+    @property
+    def redistribution_seconds(self) -> float:
+        """Simulated extra step time from re-running crashed shards.
+
+        Each crashed shard's work is split evenly across the survivors,
+        so the parallel clock is charged ``crashed_time / num_survivors``
+        on top of the surviving critical path.
+        """
+        crashed = sum(s.seconds for s in self.shards if s.redistributed)
+        if crashed == 0.0:
+            return 0.0
+        survivors = max(1, sum(1 for s in self.shards if not s.redistributed))
+        return crashed / survivors
+
+    @property
     def simulated_parallel_seconds(self) -> float:
-        longest = max((s.seconds for s in self.shards), default=0.0)
-        return longest + self.allreduce_seconds
+        longest = max((s.seconds for s in self.shards if not s.redistributed), default=0.0)
+        return longest + self.redistribution_seconds + self.allreduce_seconds
 
     @property
     def loss(self) -> float:
@@ -117,12 +140,23 @@ class SimulatedDataParallel:
         return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
 
     def train_step(self, batch: TBatch, neg_sampler: NegativeSampler) -> StepResult:
-        """One synchronous step over a batch split into replica shards."""
+        """One synchronous step over a batch split into replica shards.
+
+        Crashed replicas (fault injection via the ``worker.crash`` site)
+        have their shard redistributed to the survivors: the shard still
+        executes — on this serial substrate, execution *is* the
+        redistribution — producing bit-identical gradients, while the
+        simulated parallel clock is charged the survivors' extra work
+        (see :attr:`StepResult.redistribution_seconds`).  Stragglers
+        (``worker.straggler``) inflate their shard's simulated time.
+        """
         self.model.train()
         self.optimizer.zero_grad()
         result = StepResult()
         g = batch.g
         shards = self._shard_ranges(batch)
+        crashed = _poke("worker.crash", num_replicas=len(shards)) or frozenset()
+        stragglers = _poke("worker.straggler", num_replicas=len(shards)) or {}
         for replica, (lo, hi) in enumerate(shards):
             shard = TBatch(g, lo, hi)
             shard.neg_nodes = neg_sampler.sample(len(shard))
@@ -136,8 +170,11 @@ class SimulatedDataParallel:
             # Scale so accumulated gradients equal the shard-size-weighted
             # average — the semantics of synchronous all-reduce SGD.
             (loss * (len(shard) / len(batch))).backward()
+            seconds = time.perf_counter() - t0
+            seconds *= stragglers.get(replica, 1.0)
             result.shards.append(
-                ShardResult(replica, len(shard), time.perf_counter() - t0, loss.item())
+                ShardResult(replica, len(shard), seconds, loss.item(),
+                            redistributed=replica in crashed)
             )
         result.allreduce_seconds = self.allreduce_seconds()
         self.optimizer.step()

@@ -66,8 +66,12 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         mu = x.mean(dim=-1, keepdim=True)
-        var = x.var(dim=-1, keepdim=True)
-        normed = (x - mu) / (var + self.eps).sqrt()
+        centered = x - mu
+        # Re-center: a near-constant float32 row leaves a mean-rounding
+        # residual that 1/sqrt(var + eps) would amplify when var ~ 0.
+        centered = centered - centered.mean(dim=-1, keepdim=True)
+        var = (centered * centered).mean(dim=-1, keepdim=True)
+        normed = centered / (var + self.eps).sqrt()
         if self.weight is not None:
             normed = normed * self.weight + self.bias
         return normed

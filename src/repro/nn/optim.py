@@ -6,6 +6,7 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
+from ..resilience.hooks import poke as _poke
 from ..tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam"]
@@ -26,6 +27,11 @@ class Optimizer:
         for p in self.params:
             p.grad = None
 
+    def _pre_step(self) -> None:
+        """Fault-injection site: gradients may be poisoned here (no-op
+        unless a FaultInjector is armed)."""
+        _poke("optim.step", optimizer=self)
+
     def step(self) -> None:
         raise NotImplementedError
 
@@ -40,6 +46,7 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        self._pre_step()
         for p in self.params:
             if p.grad is None:
                 continue
@@ -76,6 +83,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        self._pre_step()
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t

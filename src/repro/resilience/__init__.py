@@ -1,0 +1,42 @@
+"""Fault tolerance for the training runtime.
+
+This package provides the pieces a production deployment needs to survive
+the faults the paper's evaluation assumes away:
+
+* :class:`FaultInjector` — deterministic, seedable fault injection
+  (transient kernel exceptions, cache corruption, NaN gradients, worker
+  crashes/stragglers, killed checkpoint writes, hard process kills),
+  installed as a context manager over hook points in ``core.kernels``,
+  ``nn.optim``, ``distributed.data_parallel``, and the checkpoint writer.
+* :func:`validate_state` / :func:`assert_valid_state` — state-invariant
+  validation over memory, mailbox, temporal CSR, and kernel cache tables.
+* the exception taxonomy in :mod:`repro.resilience.errors` separating
+  transient (retry / rollback) from fatal faults.
+
+The recovery loop itself lives in
+:class:`repro.bench.resilient.ResilientTrainer`, which combines these
+with atomic checkpoints (RNG state + stream cursor) for bit-exact
+retry/rollback/resume.
+"""
+
+from .errors import (
+    CheckpointWriteAborted,
+    DivergenceError,
+    SimulatedProcessKill,
+    StateValidationError,
+    TransientKernelError,
+)
+from .faults import FaultEvent, FaultInjector
+from .validate import assert_valid_state, validate_state
+
+__all__ = [
+    "CheckpointWriteAborted",
+    "DivergenceError",
+    "SimulatedProcessKill",
+    "StateValidationError",
+    "TransientKernelError",
+    "FaultEvent",
+    "FaultInjector",
+    "assert_valid_state",
+    "validate_state",
+]

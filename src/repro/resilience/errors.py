@@ -1,0 +1,80 @@
+"""Exception taxonomy of the fault model.
+
+The resilience runtime distinguishes **transient** faults — safe to retry
+or roll back from — from **fatal** ones that must surface to the caller:
+
+* transient: :class:`TransientKernelError` (retry the batch),
+  :class:`DivergenceError` (roll back to the last good checkpoint and
+  replay), :class:`CheckpointWriteAborted` (keep the previous checkpoint).
+* fatal: :class:`StateValidationError` with no checkpoint to roll back
+  to, a :class:`TransientKernelError` that exhausted its retry budget,
+  and :class:`SimulatedProcessKill` (models SIGKILL: nothing in-process
+  may catch it; recovery happens on the next run via ``resume``).
+
+See the "Fault model" note in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = [
+    "TransientKernelError",
+    "DivergenceError",
+    "StateValidationError",
+    "CheckpointWriteAborted",
+    "SimulatedProcessKill",
+]
+
+
+class TransientKernelError(RuntimeError):
+    """A kernel failed in a way that is expected to succeed on retry.
+
+    Models transient GPU faults (ECC hiccups, launch timeouts, OOM races)
+    the way production trainers see them: the operation raises, state
+    before the operation is intact, and an identical re-issue succeeds.
+    """
+
+    def __init__(self, message: str, site: str = "kernel"):
+        super().__init__(message)
+        self.site = site
+
+
+class DivergenceError(FloatingPointError):
+    """Training state went non-finite (NaN/Inf loss, gradients, or params).
+
+    Retrying the batch cannot help once parameters or optimizer moments
+    are poisoned; recovery is rollback to the last good checkpoint.
+    """
+
+
+class StateValidationError(RuntimeError):
+    """State invariants are violated (see :func:`repro.resilience.validate_state`)."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = list(violations)
+        super().__init__(
+            "state validation failed:\n  - " + "\n  - ".join(self.violations)
+        )
+
+
+class CheckpointWriteAborted(RuntimeError):
+    """A checkpoint write was killed mid-flight (simulated).
+
+    The write is atomic (tmp file + rename), so the previous checkpoint
+    at the target path is untouched and remains loadable.
+    """
+
+
+class SimulatedProcessKill(BaseException):
+    """Simulated hard process kill (SIGKILL) at a batch boundary.
+
+    Derives from ``BaseException`` so no recovery logic inside the
+    trainer can swallow it — exactly like a real kill.  Tests catch it at
+    top level and restart training with ``resume=True``.
+    """
+
+    def __init__(self, message: str, epoch: Optional[int] = None, batch: Optional[int] = None):
+        super().__init__(message)
+        self.epoch = epoch
+        self.batch = batch

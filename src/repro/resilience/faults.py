@@ -1,0 +1,293 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultInjector` simulates the fault classes a production
+temporal-GNN trainer must survive — transient kernel exceptions, cache
+corruption, NaN gradients, crashed/straggling data-parallel workers,
+checkpoint writes killed mid-flight, and hard process kills — by
+answering :func:`repro.resilience.hooks.poke` calls placed at the
+corresponding production code sites.
+
+Two properties make injected runs reproducible and recoverable:
+
+* **Determinism** — whether a fault fires at stream position
+  ``(epoch, batch)`` is a pure function of ``(seed, site, epoch, batch)``
+  (a splitmix64 hash compared against the site's rate) or an explicit
+  schedule.  Two injectors with the same seed and configuration fire
+  identically; retries and rollback-replays do not perturb the pattern
+  because no RNG stream is consumed.
+* **Transience** — each fault fires at most once per injector instance
+  per ``(site, epoch, batch[, replica])``, so a retried batch or a
+  replayed stream segment passes.  This is the recoverable half of the
+  fault model; see DESIGN.md for what counts as fatal.
+
+Use as a context manager to install the hooks::
+
+    inj = FaultInjector(seed=3, kernel_fault_rate=0.05,
+                        nan_grad_batches={(0, 4)})
+    with inj:
+        trainer.train(...)
+    print(inj.log)          # every fault that actually fired
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from . import hooks
+from .errors import CheckpointWriteAborted, SimulatedProcessKill, TransientKernelError
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 round (pure-python, 64-bit wrapping)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _hash_decision(seed: int, site: str, epoch: int, batch: int, extra: int) -> float:
+    """Deterministic uniform in [0, 1) for one (site, position) decision."""
+    h = _splitmix64(seed & _MASK64)
+    for token in site.encode():
+        h = _splitmix64(h ^ token)
+    h = _splitmix64(h ^ (epoch & _MASK64))
+    h = _splitmix64(h ^ (batch & _MASK64))
+    h = _splitmix64(h ^ (extra & _MASK64))
+    return h / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    site: str
+    epoch: int
+    batch: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Deterministic fault source consulted by the production hook sites.
+
+    Faults are configured either by *rate* (probability per batch, decided
+    by a seed-keyed hash of the stream position — no RNG state, so replays
+    are stable) or by explicit *schedules* of stream positions.
+
+    Args:
+        seed: keys every rate-based decision.
+        kernel_fault_rate: per-batch probability of a transient sampling
+            kernel exception (site ``kernel.sample``).
+        kernel_fault_batches: explicit ``(epoch, batch)`` positions for
+            sampling-kernel faults (unioned with the rate).
+        cache_fault_rate: per-batch probability of a transient embedding
+            cache kernel exception (site ``kernel.cache``).
+        cache_fault_batches: explicit positions for cache-kernel faults.
+        cache_corrupt_batches: positions at which a stored cache row is
+            silently overwritten with NaN (caught by state validation).
+        nan_grad_rate: per-batch probability that gradients turn NaN just
+            before the optimizer step (site ``optim.step``).
+        nan_grad_batches: explicit positions for NaN gradients.
+        worker_crash_rate: per-(batch, replica) probability that a
+            data-parallel replica crashes before its shard runs; at least
+            one replica always survives.
+        worker_crashes: explicit ``(epoch, batch, replica)`` crash triples.
+        straggler_rate: per-(batch, replica) probability that a replica
+            straggles (its simulated shard time is multiplied).
+        straggler_factor: slowdown multiplier for stragglers.
+        checkpoint_kill_batches: positions whose checkpoint write is
+            killed mid-flight (tmp file truncated, write aborted).
+        process_kill_at: optional ``(epoch, batch)`` at which the whole
+            training process is hard-killed (``SimulatedProcessKill``).
+        transient: if True (default), each fault fires at most once per
+            position so retries/replays succeed; if False, faults fire on
+            every encounter (for testing retry exhaustion).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kernel_fault_rate: float = 0.0,
+        kernel_fault_batches: Iterable[Tuple[int, int]] = (),
+        cache_fault_rate: float = 0.0,
+        cache_fault_batches: Iterable[Tuple[int, int]] = (),
+        cache_corrupt_batches: Iterable[Tuple[int, int]] = (),
+        nan_grad_rate: float = 0.0,
+        nan_grad_batches: Iterable[Tuple[int, int]] = (),
+        worker_crash_rate: float = 0.0,
+        worker_crashes: Iterable[Tuple[int, int, int]] = (),
+        straggler_rate: float = 0.0,
+        straggler_factor: float = 3.0,
+        checkpoint_kill_batches: Iterable[Tuple[int, int]] = (),
+        process_kill_at: Optional[Tuple[int, int]] = None,
+        transient: bool = True,
+    ):
+        self.seed = int(seed)
+        self.rates: Dict[str, float] = {
+            "kernel.sample": float(kernel_fault_rate),
+            "kernel.cache": float(cache_fault_rate),
+            "nan_grad": float(nan_grad_rate),
+            "worker.crash": float(worker_crash_rate),
+            "worker.straggler": float(straggler_rate),
+        }
+        self.schedules: Dict[str, Set[Tuple[int, ...]]] = {
+            "kernel.sample": {tuple(p) for p in kernel_fault_batches},
+            "kernel.cache": {tuple(p) for p in cache_fault_batches},
+            "cache.corrupt": {tuple(p) for p in cache_corrupt_batches},
+            "nan_grad": {tuple(p) for p in nan_grad_batches},
+            "worker.crash": {tuple(p) for p in worker_crashes},
+            "checkpoint.kill": {tuple(p) for p in checkpoint_kill_batches},
+        }
+        self.straggler_factor = float(straggler_factor)
+        self.process_kill_at = tuple(process_kill_at) if process_kill_at else None
+        self.transient = transient
+        self.epoch = 0
+        self.batch = 0
+        #: every fault that actually fired, in order.
+        self.log: list = []
+        self._fired: Set[Tuple] = set()
+
+    # ---- lifecycle --------------------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        hooks.install(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        hooks.uninstall(self)
+
+    def advance(self, epoch: int, batch: int) -> None:
+        """Move the stream cursor (called by the trainer at each batch)."""
+        self.epoch = int(epoch)
+        self.batch = int(batch)
+
+    # ---- decisions --------------------------------------------------------------
+
+    def would_fire(self, site: str, epoch: int, batch: int, extra: int = 0) -> bool:
+        """Pure decision function: does *site* fault at this position?
+
+        Ignores the once-per-position transience bookkeeping — this is
+        the underlying deterministic pattern.
+        """
+        if (epoch, batch) in self.schedules.get(site, ()):
+            return True
+        if (epoch, batch, extra) in self.schedules.get(site, ()):
+            return True
+        rate = self.rates.get(site, 0.0)
+        return rate > 0.0 and _hash_decision(self.seed, site, epoch, batch, extra) < rate
+
+    def _fires(self, site: str, extra: int = 0, detail: str = "") -> bool:
+        """Decide + record one (possibly transient) fault at the cursor."""
+        if not self.would_fire(site, self.epoch, self.batch, extra):
+            return False
+        key = (site, self.epoch, self.batch, extra)
+        if self.transient and key in self._fired:
+            return False
+        self._fired.add(key)
+        self.log.append(FaultEvent(site, self.epoch, self.batch, detail))
+        return True
+
+    # ---- site handlers ----------------------------------------------------------
+
+    def poke(self, site: str, **info):
+        if site == "kernel.sample":
+            if self._fires("kernel.sample"):
+                raise TransientKernelError(
+                    f"injected transient sampling-kernel fault at "
+                    f"(epoch {self.epoch}, batch {self.batch})",
+                    site="kernel.sample",
+                )
+        elif site == "kernel.cache":
+            if self._fires("kernel.cache"):
+                raise TransientKernelError(
+                    f"injected transient cache-kernel fault at "
+                    f"(epoch {self.epoch}, batch {self.batch})",
+                    site="kernel.cache",
+                )
+        elif site == "cache.corrupt":
+            cache = info.get("cache")
+            if cache is not None and self._fires("cache.corrupt"):
+                self._corrupt_cache(cache)
+        elif site == "optim.step":
+            optimizer = info.get("optimizer")
+            if optimizer is not None and self._fires("nan_grad"):
+                self._poison_gradients(optimizer)
+        elif site == "worker.crash":
+            return self._crashed_replicas(int(info.get("num_replicas", 1)))
+        elif site == "worker.straggler":
+            return self._stragglers(int(info.get("num_replicas", 1)))
+        elif site == "checkpoint.kill":
+            if self._fires("checkpoint.kill", detail=str(info.get("path", ""))):
+                self._kill_checkpoint_write(info.get("path"))
+        elif site == "trainer.batch":
+            if self.process_kill_at == (self.epoch, self.batch):
+                key = ("process.kill", self.epoch, self.batch, 0)
+                if not (self.transient and key in self._fired):
+                    self._fired.add(key)
+                    self.log.append(FaultEvent("process.kill", self.epoch, self.batch))
+                    raise SimulatedProcessKill(
+                        f"simulated process kill at (epoch {self.epoch}, batch {self.batch})",
+                        epoch=self.epoch,
+                        batch=self.batch,
+                    )
+        return None
+
+    # ---- fault effects ----------------------------------------------------------
+
+    @staticmethod
+    def _corrupt_cache(cache) -> None:
+        """Overwrite one resident cache row with NaN (silent corruption)."""
+        values = getattr(cache, "_values", None)
+        nslots = getattr(cache, "_nslots", 0)
+        if values is not None and nslots > 0:
+            values[0, :] = np.nan
+
+    @staticmethod
+    def _poison_gradients(optimizer) -> None:
+        """Turn the first live gradient into NaN, as a bad kernel would."""
+        for p in optimizer.params:
+            if p.grad is not None:
+                grad = np.asarray(p.grad, dtype=np.float64).copy()
+                grad[...] = np.nan
+                p.grad = grad.astype(p.data.dtype, copy=False)
+                return
+
+    def _crashed_replicas(self, num_replicas: int) -> FrozenSet[int]:
+        crashed = set()
+        for replica in range(num_replicas):
+            if len(crashed) >= num_replicas - 1:
+                break  # at least one survivor, always
+            if self._fires("worker.crash", extra=replica, detail=f"replica {replica}"):
+                crashed.add(replica)
+        return frozenset(crashed)
+
+    def _stragglers(self, num_replicas: int) -> Dict[int, float]:
+        factors: Dict[int, float] = {}
+        for replica in range(num_replicas):
+            if self._fires("worker.straggler", extra=replica, detail=f"replica {replica}"):
+                factors[replica] = self.straggler_factor
+        return factors
+
+    @staticmethod
+    def _kill_checkpoint_write(tmp_path) -> None:
+        """Truncate the half-written tmp file and abort before the rename."""
+        if tmp_path and os.path.exists(tmp_path):
+            size = os.path.getsize(tmp_path)
+            with open(tmp_path, "r+b") as fh:
+                fh.truncate(max(1, size // 2))
+        raise CheckpointWriteAborted(
+            f"checkpoint write killed mid-flight (tmp file {tmp_path!r} truncated)"
+        )
+
+    def __repr__(self) -> str:
+        active = {k: v for k, v in self.rates.items() if v} or {
+            k: sorted(v) for k, v in self.schedules.items() if v
+        }
+        return f"FaultInjector(seed={self.seed}, {active})"

@@ -1,0 +1,66 @@
+"""Fault-injection hook registry (dependency-free).
+
+Production hot paths call :func:`poke` at their injection sites; the call
+is a no-op unless a :class:`~repro.resilience.faults.FaultInjector` is
+installed (normally via ``with injector:``).  Keeping this module free of
+any ``repro`` imports lets low-level packages (``repro.core.kernels``,
+``repro.nn.optim``, ``repro.distributed``) reference it without creating
+an import cycle with the resilience subsystem built on top of them.
+
+Sites currently poked by production code:
+
+===================  ==========================================  =========
+site                 where                                       returns
+===================  ==========================================  =========
+``kernel.sample``    ``core.kernels.sample.temporal_sample``     ``None``
+``kernel.cache``     ``NodeTimeCache.lookup`` / ``store``        ``None``
+``cache.corrupt``    end of ``NodeTimeCache.store``              ``None``
+``optim.step``       ``nn.optim.SGD.step`` / ``Adam.step``       ``None``
+``worker.crash``     ``SimulatedDataParallel.train_step``        crashed replica ids
+``worker.straggler`` ``SimulatedDataParallel.train_step``        replica -> slowdown
+``checkpoint.kill``  ``bench.checkpoint.save_checkpoint``        ``None``
+``trainer.batch``    ``bench.resilient.ResilientTrainer``        ``None``
+===================  ==========================================  =========
+
+A site either returns a value (crash/straggler queries) or raises one of
+the :mod:`repro.resilience.errors` exceptions to simulate the fault.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["install", "uninstall", "active", "poke"]
+
+_ACTIVE: Optional[Any] = None
+
+
+def install(injector: Any) -> None:
+    """Install *injector* as the process-wide fault source."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE is not injector:
+        raise RuntimeError("another FaultInjector is already installed")
+    _ACTIVE = injector
+
+
+def uninstall(injector: Any) -> None:
+    """Remove *injector* (no-op if it is not the installed one)."""
+    global _ACTIVE
+    if _ACTIVE is injector:
+        _ACTIVE = None
+
+
+def active() -> Optional[Any]:
+    """The currently installed injector, or ``None``."""
+    return _ACTIVE
+
+
+def poke(site: str, **info: Any) -> Any:
+    """Consult the installed injector at an injection *site*.
+
+    Returns whatever the injector's handler returns (``None`` when no
+    injector is installed); may raise a simulated fault.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.poke(site, **info)

@@ -83,6 +83,119 @@ class TestDegenerateStreams:
         assert np.all(np.isfinite(pos.numpy()))
 
 
+class TestEmptyGraphSampling:
+    def test_kernel_sampling_on_edgeless_graph(self):
+        """An edgeless CSR yields zero rows from the kernel, no crash."""
+        from repro.core.kernels import temporal_sample
+
+        indptr = np.zeros(6, dtype=np.int64)  # 5 nodes, no edges
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_t = np.empty(0, dtype=np.float64)
+        res = temporal_sample(indptr, empty_i, empty_i, empty_t,
+                              np.array([0, 3, 4]), np.array([1.0, 2.0, 3.0]), k=4)
+        assert res.num_rows == 0
+        assert res.dstindex.dtype == np.int64
+
+    def test_kernel_sampling_with_no_queries(self):
+        from repro.core.kernels import temporal_sample
+
+        ds = get_dataset("wiki")
+        g = ds.build_graph()
+        csr = g.csr()
+        res = temporal_sample(csr.indptr, csr.indices, csr.eids, csr.etimes,
+                              np.empty(0, dtype=np.int64),
+                              np.empty(0, dtype=np.float64), k=4)
+        assert res.num_rows == 0
+
+    def test_sampler_on_edgeless_graph(self):
+        g = tg.TGraph(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                      np.empty(0, dtype=np.float64), num_nodes=4)
+        ctx = tg.TContext(g)
+        blk = tg.TBlock(ctx, 0, np.array([0, 2]), np.array([5.0, 6.0]))
+        tg.TSampler(3).sample(blk)
+        assert blk.num_src == 0
+
+
+class TestCacheCapacityEdge:
+    def test_cache_at_exact_capacity(self):
+        """Filling a NodeTimeCache to exactly its capacity keeps every
+        entry resident and the table self-consistent."""
+        from repro.core.kernels import NodeTimeCache
+
+        cap = 8
+        cache = NodeTimeCache(capacity=cap, dim=4)
+        nodes = np.arange(cap, dtype=np.int64)
+        times = np.arange(cap, dtype=np.float64)
+        values = np.arange(cap * 4, dtype=np.float32).reshape(cap, 4)
+        cache.store(nodes, times, values)
+        assert cache.num_entries == cap
+        assert cache.validate() == []
+        hit, out = cache.lookup(nodes, times)
+        assert hit.all()
+        np.testing.assert_array_equal(out[hit], values)
+
+    def test_store_past_capacity_evicts_fifo(self):
+        from repro.core.kernels import NodeTimeCache
+
+        cap = 8
+        cache = NodeTimeCache(capacity=cap, dim=4)
+        nodes = np.arange(cap, dtype=np.int64)
+        times = np.arange(cap, dtype=np.float64)
+        cache.store(nodes, times, np.ones((cap, 4), dtype=np.float32))
+        # One more entry evicts the oldest resident (FIFO ring).
+        cache.store(np.array([100]), np.array([9.0]),
+                    np.full((1, 4), 2.0, dtype=np.float32))
+        assert cache.num_entries == cap
+        assert cache.validate() == []
+        hit, _ = cache.lookup(np.array([100]), np.array([9.0]))
+        assert hit.all()
+        hits, _ = cache.lookup(nodes, times)
+        assert hits.sum() == cap - 1  # exactly one victim
+
+
+class TestMailboxWraparound:
+    def test_cursor_wraps_and_survives_checkpoint(self, tmp_path):
+        """Multi-slot ring cursors wrap, checkpoint-restore bit-exactly,
+        and subsequent stores land in the same slots as an uninterrupted
+        mailbox."""
+        from repro import nn as rnn
+        from repro.bench import load_checkpoint, save_checkpoint
+
+        class Tiny(rnn.Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = rnn.Linear(2, 2)
+
+        def fill(mb, rounds):
+            for r in range(rounds):
+                mb.store(np.array([0, 1]),
+                         np.full((2, 4), float(r), dtype=np.float32),
+                         np.array([float(r), float(r)]))
+
+        g = tg.TGraph([0, 1], [1, 0], [1.0, 2.0])
+        g.set_mailbox(4, slots=3)
+        fill(g.mailbox, 4)  # cursor wraps past the ring once
+        assert g.mailbox._next_slot[0] == 4 % 3
+        assert g.mailbox.validate() == []
+
+        model = Tiny()
+        path = str(tmp_path / "mb.npz")
+        save_checkpoint(path, model, graph=g)
+
+        g2 = tg.TGraph([0, 1], [1, 0], [1.0, 2.0])
+        g2.set_mailbox(4, slots=3)
+        load_checkpoint(path, model, graph=g2)
+        np.testing.assert_array_equal(g2.mailbox.mail.data, g.mailbox.mail.data)
+        np.testing.assert_array_equal(g2.mailbox._next_slot, g.mailbox._next_slot)
+
+        # Continued stores behave identically to the uninterrupted mailbox.
+        fill(g.mailbox, 2)
+        fill(g2.mailbox, 2)
+        np.testing.assert_array_equal(g2.mailbox.mail.data, g.mailbox.mail.data)
+        np.testing.assert_array_equal(g2.mailbox.time, g.mailbox.time)
+        assert g2.mailbox.validate() == []
+
+
 class TestNumericalRobustness:
     def test_extreme_time_deltas_stay_finite(self):
         enc = nn.TimeEncode(8)

@@ -1,0 +1,399 @@
+"""Fault-tolerant runtime tests: injection determinism, recovery
+equivalence, checkpoint atomicity/integrity, and degradation."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro.bench import ResilientTrainer, load_checkpoint, save_checkpoint
+from repro.bench.experiments import Experiment, ExperimentConfig
+from repro.core.kernels import NodeTimeCache
+from repro.resilience import (
+    CheckpointWriteAborted,
+    FaultInjector,
+    SimulatedProcessKill,
+    StateValidationError,
+    TransientKernelError,
+    assert_valid_state,
+    validate_state,
+)
+from repro.resilience import hooks
+
+
+def _experiment(seed=7):
+    cfg = ExperimentConfig(
+        model="tgn", dataset="wiki", framework="tglite+opt", epochs=2,
+        batch_size=300, dim_embed=8, dim_time=8, dim_mem=8,
+        num_layers=1, seed=seed,
+    )
+    return Experiment(cfg)
+
+
+def _fingerprint(exp):
+    return (
+        [p.data.copy() for p in exp.model.parameters()],
+        exp.g.mem.data.data.copy(),
+        exp.g.mem.time.copy(),
+        exp.g.mailbox.mail.data.copy(),
+        exp.g.mailbox.time.copy(),
+    )
+
+
+def _assert_fingerprints_equal(a, b):
+    for pa, pb in zip(a[0], b[0]):
+        np.testing.assert_array_equal(pa, pb)
+    for xa, xb in zip(a[1:], b[1:]):
+        np.testing.assert_array_equal(xa, xb)
+
+
+def _run(tmp_path, injector=None, num_replicas=1, epochs=2, train_end=900,
+         checkpoint_every=2, resume=False, seed=7, subdir="ck"):
+    exp = _experiment(seed=seed)
+    trainer = ResilientTrainer(
+        exp.model, exp.g, exp.optimizer, exp.neg_sampler,
+        batch_size=300, checkpoint_dir=str(tmp_path / subdir),
+        checkpoint_every=checkpoint_every, injector=injector,
+        num_replicas=num_replicas,
+    )
+    try:
+        result = trainer.train(epochs=epochs, train_end=train_end, resume=resume)
+    finally:
+        exp.close()
+    return result, _fingerprint(exp)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_pattern(self):
+        a = FaultInjector(seed=3, kernel_fault_rate=0.2)
+        b = FaultInjector(seed=3, kernel_fault_rate=0.2)
+        pattern_a = [a.would_fire("kernel.sample", e, i) for e in range(3) for i in range(50)]
+        pattern_b = [b.would_fire("kernel.sample", e, i) for e in range(3) for i in range(50)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_different_seed_different_pattern(self):
+        a = FaultInjector(seed=3, kernel_fault_rate=0.2)
+        b = FaultInjector(seed=4, kernel_fault_rate=0.2)
+        pattern_a = [a.would_fire("kernel.sample", 0, i) for i in range(200)]
+        pattern_b = [b.would_fire("kernel.sample", 0, i) for i in range(200)]
+        assert pattern_a != pattern_b
+
+    def test_decisions_consume_no_rng(self):
+        """Fault decisions must not perturb any numpy RNG stream."""
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        inj = FaultInjector(seed=1, kernel_fault_rate=0.5)
+        for i in range(100):
+            inj.would_fire("kernel.sample", 0, i)
+        assert rng.bit_generator.state == before
+
+    def test_transient_faults_fire_once_per_position(self):
+        inj = FaultInjector(seed=0, kernel_fault_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            with pytest.raises(TransientKernelError):
+                hooks.poke("kernel.sample")
+            # Retry at the same position succeeds.
+            hooks.poke("kernel.sample")
+        assert len(inj.log) == 1
+
+    def test_install_is_exclusive(self):
+        a = FaultInjector(seed=0)
+        b = FaultInjector(seed=1)
+        with a:
+            with pytest.raises(RuntimeError):
+                hooks.install(b)
+        assert hooks.active() is None
+
+
+class TestRecoveryEquivalence:
+    def test_faulted_run_matches_fault_free(self, tmp_path):
+        """Transient kernel fault + NaN gradients + worker crash: the run
+        completes via retry/rollback/redistribution and ends bit-identical
+        to the fault-free seeded run."""
+        base, fp0 = _run(tmp_path, num_replicas=2, subdir="clean")
+        injector = FaultInjector(
+            seed=11,
+            kernel_fault_batches=[(0, 1), (1, 2)],
+            nan_grad_batches=[(0, 2)],
+            worker_crashes=[(1, 1, 0)],
+        )
+        faulted, fp1 = _run(tmp_path, injector=injector, num_replicas=2,
+                            subdir="faulted")
+        assert faulted.retries >= 1
+        assert faulted.rollbacks >= 1
+        assert faulted.redistributions == 1
+        _assert_fingerprints_equal(fp0, fp1)
+        assert [e.train_loss for e in base.epochs] == [
+            e.train_loss for e in faulted.epochs
+        ]
+
+    def test_resume_after_process_kill_is_bit_exact(self, tmp_path):
+        uninterrupted, fp0 = _run(tmp_path, subdir="full")
+        injector = FaultInjector(seed=5, process_kill_at=(1, 1))
+        exp = _experiment()
+        trainer = ResilientTrainer(
+            exp.model, exp.g, exp.optimizer, exp.neg_sampler, batch_size=300,
+            checkpoint_dir=str(tmp_path / "killed"), checkpoint_every=2,
+            injector=injector,
+        )
+        with pytest.raises(SimulatedProcessKill):
+            trainer.train(epochs=2, train_end=900)
+        exp.close()
+        assert hooks.active() is None  # injector uninstalled despite the kill
+        resumed, fp1 = _run(tmp_path, resume=True, subdir="killed")
+        assert resumed.events[0].kind == "resume"
+        _assert_fingerprints_equal(fp0, fp1)
+
+    def test_persistent_fault_degrades_instead_of_dying(self, tmp_path):
+        """A *persistent* kernel fault trips degradation before the retry
+        budget runs out, and training completes on the reference path."""
+        injector = FaultInjector(seed=0, kernel_fault_batches=[(0, 0)],
+                                 transient=False)
+        result, _ = _run(tmp_path, injector=injector, epochs=1, train_end=600)
+        assert any(e.kind == "degraded" for e in result.events)
+        assert len(result.epochs) == 1
+
+    def test_retry_exhaustion_reraises(self, tmp_path):
+        """With degradation disabled (threshold above the retry budget), a
+        persistent fault exhausts its retries and surfaces."""
+        injector = FaultInjector(seed=0, kernel_fault_batches=[(0, 0)],
+                                 transient=False)
+        exp = _experiment()
+        exp.g.ctx.degrade_threshold = 100
+        trainer = ResilientTrainer(
+            exp.model, exp.g, exp.optimizer, exp.neg_sampler, batch_size=300,
+            checkpoint_dir=str(tmp_path / "exhaust"), checkpoint_every=2,
+            injector=injector,
+        )
+        with pytest.raises(TransientKernelError):
+            trainer.train(epochs=1, train_end=600)
+        assert hooks.active() is None
+        exp.close()
+
+
+class TestShardRedistribution:
+    def test_crash_changes_clock_not_numerics(self, tmp_path):
+        base, fp0 = _run(tmp_path, num_replicas=2, epochs=1, subdir="a")
+        injector = FaultInjector(seed=5, worker_crashes=[(0, 1, 0)])
+        crashed, fp1 = _run(tmp_path, injector=injector, num_replicas=2,
+                            epochs=1, subdir="b")
+        _assert_fingerprints_equal(fp0, fp1)
+        assert crashed.redistributions == 1
+        event = [e for e in crashed.events if e.kind == "redistribution"][0]
+        assert (event.epoch, event.batch) == (0, 1)
+        assert "replica 0" in event.detail
+
+    def test_redistribution_seconds_charged(self):
+        from repro.distributed.data_parallel import ShardResult, StepResult
+
+        step = StepResult(shards=[
+            ShardResult(0, 10, 2.0, 0.5, redistributed=True),
+            ShardResult(1, 10, 1.0, 0.5),
+            ShardResult(2, 10, 1.5, 0.5),
+        ])
+        assert step.crashed_replicas == [0]
+        assert step.redistribution_seconds == pytest.approx(1.0)  # 2.0 / 2
+        assert step.simulated_parallel_seconds == pytest.approx(1.5 + 1.0)
+
+
+class TestCheckpointIntegrity:
+    def test_kill_mid_write_preserves_previous_checkpoint(self, tmp_path):
+        exp = _experiment()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, exp.model, graph=exp.g, optimizer=exp.optimizer,
+                        stream=(0, 0))
+        injector = FaultInjector(seed=0, checkpoint_kill_batches=[(0, 5)])
+        with injector:
+            injector.advance(0, 5)
+            with pytest.raises(CheckpointWriteAborted):
+                save_checkpoint(path, exp.model, graph=exp.g,
+                                optimizer=exp.optimizer, stream=(0, 5))
+        assert not os.path.exists(path + ".tmp")
+        meta = load_checkpoint(path, exp.model, graph=exp.g,
+                               optimizer=exp.optimizer)
+        assert meta["stream"] == (0, 0)
+        exp.close()
+
+    def test_truncated_file_raises_value_error_naming_file(self, tmp_path):
+        exp = _experiment()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, exp.model)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) // 3)
+        with pytest.raises(ValueError, match="ck.npz"):
+            load_checkpoint(path, exp.model)
+        exp.close()
+
+    def test_bit_corruption_raises_value_error(self, tmp_path):
+        exp = _experiment()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, exp.model)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ValueError, match="ck.npz"):
+            load_checkpoint(path, exp.model)
+        exp.close()
+
+    def test_memory_state_without_target_memory_raises(self, tmp_path):
+        exp = _experiment()  # TGN: graph has memory + mailbox
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, exp.model, graph=exp.g)
+        bare = tg.TGraph(exp.g.src, exp.g.dst, exp.g.ts,
+                         num_nodes=exp.g.num_nodes)
+        with pytest.raises(ValueError, match="no Memory attached"):
+            load_checkpoint(path, exp.model, graph=bare)
+        exp.close()
+
+    def test_rng_roundtrip_is_bit_exact(self, tmp_path):
+        from repro.nn import Adam, Linear, Module
+        from repro.tensor import random as trandom
+
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(4, 4)
+
+        model = M()
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        trandom.manual_seed(123)
+        gen = trandom.default_generator()
+        gen.standard_normal(7)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, model, optimizer=optimizer,
+                        generators={"global": gen}, stream=(1, 4))
+        expected = gen.standard_normal(5)
+        gen.standard_normal(1000)  # wander off
+        meta = load_checkpoint(path, model, optimizer=optimizer,
+                               generators={"global": gen})
+        assert meta["stream"] == (1, 4)
+        np.testing.assert_array_equal(gen.standard_normal(5), expected)
+
+
+class TestStateValidation:
+    def test_healthy_graph_validates_clean(self):
+        exp = _experiment()
+        assert validate_state(exp.g) == []
+        assert_valid_state(exp.g)
+        exp.close()
+
+    def test_nan_memory_detected(self):
+        exp = _experiment()
+        exp.g.mem.data.data[3, 0] = np.nan
+        violations = validate_state(exp.g)
+        assert any("memory" in v for v in violations)
+        with pytest.raises(StateValidationError):
+            assert_valid_state(exp.g)
+        exp.close()
+
+    def test_mailbox_cursor_out_of_range_detected(self):
+        g = tg.TGraph([0, 1], [1, 0], [1.0, 2.0])
+        g.set_mailbox(4, slots=3)
+        g.mailbox._next_slot[0] = 7
+        assert any("mailbox" in v for v in validate_state(g))
+
+    def test_injected_cache_corruption_detected(self):
+        cache = NodeTimeCache(capacity=8, dim=4)
+        cache.store(np.array([1, 2]), np.array([1.0, 2.0]),
+                    np.ones((2, 4), dtype=np.float32))
+        assert cache.validate() == []
+        injector = FaultInjector(seed=0, cache_corrupt_batches=[(0, 0)])
+        with injector:
+            injector.advance(0, 0)
+            hooks.poke("cache.corrupt", cache=cache)
+        assert any("finite" in v or "non-finite" in v for v in cache.validate())
+
+    def test_validation_failure_rolls_back(self, tmp_path):
+        """Silently corrupted node memory is caught by validation at the
+        next checkpoint boundary (before any batch consumes it), rolled
+        back, and the run still ends bit-identical to the clean one."""
+        base, fp0 = _run(tmp_path, epochs=1, subdir="clean")
+        exp = _experiment()
+        trainer = ResilientTrainer(
+            exp.model, exp.g, exp.optimizer, exp.neg_sampler, batch_size=300,
+            checkpoint_dir=str(tmp_path / "v"), checkpoint_every=2,
+        )
+        done = {"armed": False}
+
+        class Corruptor:
+            def advance(self, e, b):
+                pass
+
+            def poke(self, site, **info):
+                # Flip memory to NaN exactly at the (0, 2) checkpoint
+                # boundary, as a silent DMA corruption would.
+                if (site == "trainer.batch" and not done["armed"]
+                        and (info["epoch"], info["batch"]) == (0, 2)):
+                    done["armed"] = True
+                    exp.g.mem.data.data[5, 0] = np.nan
+
+        corruptor = Corruptor()
+        hooks.install(corruptor)
+        try:
+            result = trainer.train(epochs=1, train_end=900)
+        finally:
+            hooks.uninstall(corruptor)
+        kinds = [e.kind for e in result.events]
+        assert "validation" in kinds and "rollback" in kinds
+        assert validate_state(exp.g) == []
+        _assert_fingerprints_equal(fp0, _fingerprint(exp))
+        exp.close()
+
+
+class TestDegradation:
+    def test_repeated_kernel_faults_degrade_to_reference_path(self, tmp_path):
+        injector = FaultInjector(
+            seed=2, kernel_fault_batches=[(0, 0), (0, 1), (0, 2)]
+        )
+        exp = _experiment()
+        trainer = ResilientTrainer(
+            exp.model, exp.g, exp.optimizer, exp.neg_sampler, batch_size=300,
+            checkpoint_dir=str(tmp_path / "d"), checkpoint_every=2,
+            injector=injector,
+        )
+        result = trainer.train(epochs=1, train_end=900)
+        stats = exp.g.ctx.stats()
+        assert stats.degraded.get("kernel.sample")
+        assert stats.kernel_faults.get("kernel.sample") == 3
+        assert "degraded:kernel.sample" in stats.as_dict()
+        assert any(e.kind == "degraded" for e in result.events)
+        assert result.retries == 3
+        assert len(result.epochs) == 1  # training completed
+        exp.close()
+
+    def test_degraded_sampling_is_bit_identical(self, tmp_path):
+        base, fp0 = _run(tmp_path, epochs=1, subdir="x")
+        injector = FaultInjector(
+            seed=2, kernel_fault_batches=[(0, 0), (0, 1), (0, 2)]
+        )
+        degraded, fp1 = _run(tmp_path, injector=injector, epochs=1, subdir="y")
+        _assert_fingerprints_equal(fp0, fp1)
+        assert [e.train_loss for e in base.epochs] == [
+            e.train_loss for e in degraded.epochs
+        ]
+
+
+KINDS = ("kernel-fault", "nan-grad", "worker-crash")
+_KIND_FILTER = os.environ.get("RESILIENCE_FAULT_KIND")
+
+
+@pytest.mark.parametrize(
+    "kind", [k for k in KINDS if _KIND_FILTER in (None, k)]
+)
+def test_fault_matrix_completes_and_matches(kind, tmp_path):
+    """CI fault matrix: each fault class alone, seeded, must recover to
+    the fault-free trajectory."""
+    base, fp0 = _run(tmp_path, num_replicas=2, epochs=1, subdir="base")
+    injector = FaultInjector(
+        seed=13,
+        kernel_fault_batches=[(0, 1)] if kind == "kernel-fault" else (),
+        nan_grad_batches=[(0, 1)] if kind == "nan-grad" else (),
+        worker_crashes=[(0, 1, 1)] if kind == "worker-crash" else (),
+    )
+    faulted, fp1 = _run(tmp_path, injector=injector, num_replicas=2,
+                        epochs=1, subdir=kind)
+    assert len(injector.log) >= 1
+    _assert_fingerprints_equal(fp0, fp1)
