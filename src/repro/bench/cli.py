@@ -10,6 +10,12 @@ Examples::
     python -m repro.bench --model tgn --dataset lastfm --placement cpu2gpu \
         --epochs 3 --inference
     python -m repro.bench --list-datasets
+
+A ``serve`` subcommand replays an event stream through the hardened
+online serving runtime (:mod:`repro.serve`)::
+
+    python -m repro.bench serve --dataset wiki --load 16 --poison --assert-valid
+    python -m repro.bench serve --events 5000 --load 4 --chaos
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from typing import List, Optional
 from ..data import available_datasets, get_dataset
 from .experiments import FRAMEWORKS, MODELS, Experiment, ExperimentConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_serve_parser", "serve_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +69,161 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench serve",
+        description="Replay an event stream through the online serving runtime.",
+    )
+    parser.add_argument("--dataset", choices=available_datasets(), default=None,
+                        help="serve a real dataset's event stream "
+                             "(default: synthetic)")
+    parser.add_argument("--events", type=int, default=2000,
+                        help="synthetic stream length (ignored with --dataset)")
+    parser.add_argument("--num-nodes", type=int, default=200,
+                        help="synthetic graph size (ignored with --dataset)")
+    parser.add_argument("--payload-dim", type=int, default=16)
+    parser.add_argument("--dim-mem", type=int, default=16)
+    parser.add_argument("--batch-size", type=int, default=50,
+                        help="events per serving request")
+    parser.add_argument("--load", type=float, default=1.0,
+                        help="offered load as a multiple of the full-quality "
+                             "service rate (16 = heavy overload)")
+    parser.add_argument("--deadline", type=float, default=2e-2,
+                        help="per-request budget in simulated seconds")
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--shed-policy", choices=("reject-new", "drop-oldest"),
+                        default="reject-new")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="token-bucket admission rate (requests/sec)")
+    parser.add_argument("--num-nbrs", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--poison", action="store_true",
+                        help="inject malformed/duplicate/out-of-order events "
+                             "into the stream")
+    parser.add_argument("--chaos", action="store_true",
+                        help="arm the resilience fault injector over the "
+                             "serve.ingest/serve.commit/serve.poison sites")
+    parser.add_argument("--check-equivalence", action="store_true",
+                        help="with --poison: also replay the clean stream and "
+                             "require bit-identical final state")
+    parser.add_argument("--assert-valid", action="store_true",
+                        help="exit nonzero on state violations or an "
+                             "unbalanced ingestion ledger")
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    import numpy as np
+
+    from ..core import Mailbox, Memory, TContext, TGraph, TSampler
+    from ..resilience import FaultInjector, validate_state
+    from ..serve import ServeRuntime, build_stream, poison_stream, replay, split_batches
+    from ..serve.events import EventBatch
+
+    args = build_serve_parser().parse_args(argv)
+
+    if args.dataset is not None:
+        d = get_dataset(args.dataset)
+        payload = d.efeat[:, : args.payload_dim] if d.efeat is not None else None
+        stream = EventBatch(np.arange(d.num_edges), d.src, d.dst, d.ts, payload)
+        num_nodes = d.num_nodes
+    else:
+        stream = build_stream(args.num_nodes, args.events,
+                              payload_dim=args.payload_dim, seed=args.seed)
+        num_nodes = args.num_nodes
+
+    lateness = 0.0
+    clean = stream
+    if args.poison:
+        stream, lateness, injected = poison_stream(clean, num_nodes, seed=args.seed)
+        print("poisoned stream:", ", ".join(f"{k}={v}" for k, v in injected.items()),
+              f"(lateness bound {lateness:.4g})")
+
+    def make_runtime(injector=None, reliable=False):
+        g = TGraph(clean.src, clean.dst, clean.ts, num_nodes=num_nodes)
+        ctx = TContext(g)
+        mem = Memory(num_nodes, args.dim_mem)
+        mailbox = Mailbox(num_nodes, args.dim_mem)
+        sampler = TSampler(args.num_nbrs, seed=args.seed)
+        runtime = ServeRuntime(
+            g, ctx, mem, sampler, mailbox=mailbox,
+            deadline=1e9 if reliable else args.deadline,
+            lateness=lateness,
+            max_queue=1 << 30 if reliable else args.max_queue,
+            shed_policy=args.shed_policy,
+            rate=None if reliable else args.rate,
+            injector=injector,
+        )
+        return g, ctx, mem, mailbox, runtime
+
+    injector = None
+    if args.chaos:
+        injector = FaultInjector(
+            seed=args.seed,
+            serve_ingest_fault_rate=0.05,
+            serve_commit_fault_rate=0.05,
+            serve_poison_batches=[(0, 3), (0, 13)],
+        )
+    g, ctx, mem, mailbox, runtime = make_runtime(injector)
+    batches = split_batches(stream, args.batch_size)
+    print(f"replaying {len(stream)} events in {len(batches)} requests "
+          f"at {args.load:g}x load")
+    if injector is not None:
+        with injector:
+            results = replay(runtime, batches, load=args.load)
+    else:
+        results = replay(runtime, batches, load=args.load)
+
+    statuses = {s: sum(1 for r in results if r.status == s)
+                for s in ("ok", "shed", "timeout")}
+    for key, value in runtime.stats().items():
+        print(f"  {key:34s} {value}")
+    print(f"  statuses: ok={statuses['ok']} shed={statuses['shed']} "
+          f"timeout={statuses['timeout']}")
+    lat = ctx.stats().latency
+    if lat is not None:
+        print(f"  latency: p50={lat.p50:.4g}s p99={lat.p99:.4g}s (n={lat.count})")
+    if injector is not None:
+        print(f"  chaos: {len(injector.log)} faults fired")
+
+    failures = []
+    violations = (validate_state(g, ctx) + mem.validate() + mailbox.validate())
+    if violations:
+        failures.append("state violations: " + "; ".join(violations))
+    st = runtime.ingest.stats
+    if st.pushed != st.accepted + st.duplicates + st.quarantined_total:
+        failures.append(
+            f"ingestion ledger unbalanced: pushed={st.pushed} != "
+            f"accepted={st.accepted} + duplicates={st.duplicates} + "
+            f"quarantined={st.quarantined_total}"
+        )
+    if args.poison and args.check_equivalence:
+        # Equivalence is defined over streams, not over shed work, so the
+        # comparison replays run shed-free (unbounded queue, no deadline).
+        _, _, mem_p, mailbox_p, runtime_p = make_runtime(reliable=True)
+        replay(runtime_p, split_batches(stream, args.batch_size))
+        _, _, mem_c, mailbox_c, runtime_c = make_runtime(reliable=True)
+        replay(runtime_c, split_batches(clean, args.batch_size))
+        same = (
+            np.array_equal(mem_p.data.data, mem_c.data.data)
+            and np.array_equal(mem_p.time, mem_c.time)
+            and np.array_equal(mailbox_p.mail.data, mailbox_c.mail.data)
+            and np.array_equal(mailbox_p.time, mailbox_c.time)
+        )
+        print(f"  poisoned-stream equivalence: "
+              f"{'bit-identical' if same else 'DIVERGED'}")
+        if not same:
+            failures.append("poisoned-stream final state diverged from clean replay")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1 if args.assert_valid else 0
+    if args.assert_valid:
+        print("  all serving invariants hold")
+    return 0
+
+
 def _print_datasets() -> None:
     header = f"{'dataset':10s} {'|V|':>8s} {'|E|':>10s} {'d_v':>5s} {'d_e':>5s} {'max(t)':>10s}"
     print(header)
@@ -74,6 +235,10 @@ def _print_datasets() -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_datasets:
         _print_datasets()

@@ -24,7 +24,7 @@ import numpy as np
 from ..tensor import Tensor
 from ..tensor.device import CPU, Device, get_device
 from .kernels.cache import NodeTimeCache as _EmbedCache
-from .stats import CacheLayerStats, ContextStats, PinnedPoolStats
+from .stats import CacheLayerStats, ContextStats, LatencyStats, PinnedPoolStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .graph import TGraph
@@ -111,6 +111,15 @@ class TContext:
         #: transient faults after which a kernel is degraded.
         self.degrade_threshold: int = 3
         self._kernel_faults: Dict[str, int] = {}
+        #: optional cap on sampler fanout (the serving runtime's
+        #: degradation ladder shrinks it under deadline pressure; see
+        #: :meth:`TSampler.effective_fanout`).  None = no cap.
+        self.fanout_limit: Optional[int] = None
+        #: bounded reservoir of recent request latencies (seconds on the
+        #: serving runtime's simulated clock) + total count ever recorded.
+        self._latencies: list = []
+        self._latency_count = 0
+        self._latency_reservoir = 8192
 
     # ---- modes ------------------------------------------------------------------
 
@@ -159,6 +168,28 @@ class TContext:
         """Accumulate wall-clock seconds under a kernel name."""
         self._kernel_seconds[name] = self._kernel_seconds.get(name, 0.0) + seconds
 
+    def record_latency(self, seconds: float) -> None:
+        """Record one request's end-to-end latency (serving runtime).
+
+        Kept in a bounded reservoir of the most recent samples; the p50/p99
+        surfaced by :meth:`stats` are computed over that reservoir.
+        """
+        self._latency_count += 1
+        self._latencies.append(float(seconds))
+        if len(self._latencies) > self._latency_reservoir:
+            del self._latencies[: -self._latency_reservoir]
+
+    def _latency_stats(self) -> Optional[LatencyStats]:
+        if not self._latencies:
+            return None
+        arr = np.asarray(self._latencies)
+        return LatencyStats(
+            count=self._latency_count,
+            p50=float(np.percentile(arr, 50)),
+            p99=float(np.percentile(arr, 99)),
+            mean=float(arr.mean()),
+        )
+
     # ---- graceful degradation ---------------------------------------------------
 
     def record_kernel_fault(self, site: str) -> bool:
@@ -202,6 +233,7 @@ class TContext:
             kernel_seconds=dict(self._kernel_seconds),
             degraded=dict(self.degraded),
             kernel_faults=dict(self._kernel_faults),
+            latency=self._latency_stats(),
         )
 
     def reset_stats(self) -> None:
@@ -211,6 +243,8 @@ class TContext:
         """
         self.counters.clear()
         self._kernel_seconds.clear()
+        self._latencies.clear()
+        self._latency_count = 0
         self._pinned_pool.reset_stats()
         for cache in self._embed_caches.values():
             cache.reset_stats()
@@ -273,6 +307,7 @@ class TContext:
         self.clear_time_tables()
         self.degraded.clear()
         self._kernel_faults.clear()
+        self.fanout_limit = None
 
     def __repr__(self) -> str:
         return f"TContext(device='{self.device}', training={self.training})"

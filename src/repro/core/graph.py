@@ -81,6 +81,28 @@ def _build_temporal_csr(
     return TemporalCSR(indptr, neighbors.astype(np.int64), all_eids, all_ts)
 
 
+def _check_edge_arrays(src: np.ndarray, dst: np.ndarray, ts: np.ndarray) -> None:
+    """Reject malformed edge arrays with errors naming the offending index.
+
+    Production event streams carry NaN/Inf timestamps, negative times from
+    clock bugs, and negative node ids from failed joins; letting any of
+    them into the sorted COO storage corrupts the temporal CSR and every
+    downstream invariant, so they are rejected at the door.
+    """
+    if len(ts):
+        finite = np.isfinite(ts)
+        if not finite.all():
+            i = int(np.flatnonzero(~finite)[0])
+            raise ValueError(f"non-finite edge timestamp {ts[i]} at index {i}")
+        if ts.min() < 0:
+            i = int(np.flatnonzero(ts < 0)[0])
+            raise ValueError(f"negative edge timestamp {ts[i]} at index {i}")
+    for name, arr in (("src", src), ("dst", dst)):
+        if len(arr) and arr.min() < 0:
+            i = int(np.flatnonzero(arr < 0)[0])
+            raise ValueError(f"negative {name} node id {arr[i]} at index {i}")
+
+
 class TGraph:
     """A continuous-time temporal graph.
 
@@ -107,6 +129,7 @@ class TGraph:
         ts = np.asarray(ts, dtype=np.float64)
         if not (len(src) == len(dst) == len(ts)):
             raise ValueError("src, dst, ts must have equal lengths")
+        _check_edge_arrays(src, dst, ts)
         order = np.argsort(ts, kind="stable")
         if not np.array_equal(order, np.arange(len(ts))):
             src, dst, ts = src[order], dst[order], ts[order]

@@ -25,7 +25,12 @@ vectorized kernels are bit-identical and measure their speedup.
 """
 
 from .cache import NodeTimeCache, _ReferenceNodeTimeCache
-from .dedup import _reference_unique_node_times, unique_node_times
+from .dedup import (
+    _reference_unique_node_times,
+    canonical_event_order,
+    last_event_wins,
+    unique_node_times,
+)
 from .sample import (
     SampleResult,
     _reference_sample_arrays,
@@ -42,6 +47,8 @@ __all__ = [
     "sample_uniform",
     "segment_searchsorted",
     "unique_node_times",
+    "last_event_wins",
+    "canonical_event_order",
     "NodeTimeCache",
     "_reference_sample_arrays",
     "_reference_unique_node_times",

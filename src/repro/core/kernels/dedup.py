@@ -3,13 +3,24 @@
 The structured-dtype ``np.unique`` of the original implementation pays
 for void-dtype comparisons; the kernel gets the same answer from one
 ``lexsort`` plus boundary detection over plain int64/float64 arrays.
+
+Also home to :func:`last_event_wins`, the duplicate-node coalescing rule
+shared by ``Memory.update`` and ``Mailbox.store``: when one batch carries
+several entries for the same node, the entry with the greatest timestamp
+wins, with timestamp ties broken by a content fingerprint of the value
+row so the outcome is deterministic regardless of input order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["unique_node_times", "_reference_unique_node_times"]
+__all__ = [
+    "unique_node_times",
+    "last_event_wins",
+    "canonical_event_order",
+    "_reference_unique_node_times",
+]
 
 
 def unique_node_times(nodes: np.ndarray, times: np.ndarray):
@@ -38,6 +49,64 @@ def unique_node_times(nodes: np.ndarray, times: np.ndarray):
     inverse = np.empty(n, dtype=np.int64)
     inverse[order] = group
     return sn[boundary], st[boundary], inverse
+
+
+def _row_fingerprint(values: np.ndarray) -> np.ndarray:
+    """Order-independent 64-bit content fingerprint of each row's bytes.
+
+    Two bit-identical rows always fingerprint identically, so using the
+    fingerprint as a tie-break makes duplicate coalescing independent of
+    input order (rows that collide on both timestamp and fingerprint are
+    interchangeable for storage purposes).
+    """
+    v = np.ascontiguousarray(values)
+    raw = v.view(np.uint8).reshape(len(v), -1)
+    h = np.full(len(v), 0x9E3779B97F4A7C15, dtype=np.uint64)
+    for col in raw.T:
+        h ^= col.astype(np.uint64)
+        h *= np.uint64(0xBF58476D1CE4E5B9)
+        h ^= h >> np.uint64(29)
+    return h
+
+
+def canonical_event_order(nodes: np.ndarray, times: np.ndarray,
+                          values=None) -> np.ndarray:
+    """Indices sorting entries by (node, time, value fingerprint).
+
+    The canonical per-node delivery order: ascending timestamps, with
+    equal-timestamp entries ordered by their content fingerprint.  Any
+    permutation of the same entries sorts to the same sequence, which is
+    what makes multi-slot mailbox delivery replay-deterministic.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    times = np.asarray(times, dtype=np.float64)
+    if values is not None and len(nodes):
+        fp = _row_fingerprint(np.asarray(values))
+    else:
+        fp = np.zeros(len(nodes), dtype=np.uint64)
+    return np.lexsort((fp, times, nodes))
+
+
+def last_event_wins(nodes: np.ndarray, times: np.ndarray, values=None):
+    """Select one winning entry per unique node: last event wins.
+
+    Returns ``(uniq_nodes, winner_idx)`` where ``winner_idx[i]`` indexes
+    the input entry that wins for ``uniq_nodes[i]``: the entry with the
+    greatest timestamp, timestamp ties broken by the value row's content
+    fingerprint.  Deterministic regardless of input order; entries equal
+    on both keys carry identical bytes (up to fingerprint collision) and
+    are interchangeable.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    n = len(nodes)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order = canonical_event_order(nodes, times, values)
+    sn = nodes[order]
+    last = np.empty(n, dtype=bool)
+    last[-1] = True
+    last[:-1] = sn[1:] != sn[:-1]
+    return sn[last], order[last]
 
 
 def _reference_unique_node_times(nodes: np.ndarray, times: np.ndarray):

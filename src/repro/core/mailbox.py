@@ -11,12 +11,13 @@ size 10, aggregated by the model).
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from ..tensor import Tensor
 from ..tensor.device import Device, get_device
+from .kernels.dedup import canonical_event_order, last_event_wins
 
 __all__ = ["Mailbox"]
 
@@ -50,6 +51,7 @@ class Mailbox:
         self.time = np.zeros(tshape, dtype=np.float64)
         # Ring-buffer write cursor per node (multi-slot only).
         self._next_slot = np.zeros(num_nodes, dtype=np.int64) if slots > 1 else None
+        self._backup: Optional[Tuple] = None
 
     def get(self, nodes: np.ndarray) -> Tensor:
         """Mail rows for *nodes*: ``(n, dim)`` or ``(n, slots, dim)``. Detached."""
@@ -59,25 +61,48 @@ class Mailbox:
         return self.time[nodes]
 
     def store(self, nodes: np.ndarray, mail: Tensor, times: np.ndarray) -> None:
-        """Deliver one message per node in *nodes*.
+        """Deliver messages to *nodes*.
 
         With one slot the message replaces the previous one; with multiple
-        slots it is written at the node's ring-buffer cursor.  *nodes* must
-        be unique within a call (use ``op.coalesce`` or ``op.src_scatter``
-        to reduce duplicates first).  Cross-device writes pay the simulated
-        transfer cost.
+        slots it is written at the node's ring-buffer cursor.  Cross-device
+        writes pay the simulated transfer cost.
+
+        **Duplicate-node guarantee** — *nodes* may repeat within one call
+        (``op.coalesce``/``op.src_scatter`` still reduce duplicates on the
+        training path, but the streaming ingestion path delivers raw event
+        batches).  With one slot, each node keeps the duplicate with the
+        greatest delivery time (last event wins; timestamp ties broken by
+        a content fingerprint of the message row).  With multiple slots,
+        a node's duplicates are written to consecutive ring slots in
+        canonical ascending (time, fingerprint) order.  Either way the
+        stored state is deterministic regardless of the input order of
+        the duplicates.
         """
         if isinstance(mail, Tensor) and mail.device is not self.device:
             mail = mail.to(self.device)
         mail_data = mail.data if isinstance(mail, Tensor) else np.asarray(mail)
         nodes = np.asarray(nodes, dtype=np.int64)
-        if len(nodes) != len(np.unique(nodes)):
-            raise ValueError("mailbox store requires unique node ids per call")
+        times = np.asarray(times, dtype=np.float64)
+        unique = len(nodes) == len(np.unique(nodes))
         if self.slots == 1:
+            if not unique:
+                uniq, winners = last_event_wins(nodes, times, mail_data)
+                nodes, mail_data, times = uniq, mail_data[winners], times[winners]
             self.mail.data[nodes] = mail_data
             self.time[nodes] = times
         else:
-            cursors = self._next_slot[nodes]
+            if not unique:
+                order = canonical_event_order(nodes, times, mail_data)
+                nodes, mail_data, times = nodes[order], mail_data[order], times[order]
+                # Per-node rank among duplicates: consecutive ring slots.
+                starts = np.flatnonzero(
+                    np.concatenate(([True], nodes[1:] != nodes[:-1]))
+                )
+                rank = np.arange(len(nodes), dtype=np.int64)
+                rank -= np.repeat(starts, np.diff(np.append(starts, len(nodes))))
+            else:
+                rank = np.zeros(len(nodes), dtype=np.int64)
+            cursors = (self._next_slot[nodes] + rank) % self.slots
             self.mail.data[nodes, cursors] = mail_data
             self.time[nodes, cursors] = times
             self._next_slot[nodes] = (cursors + 1) % self.slots
@@ -87,6 +112,23 @@ class Mailbox:
         self.time[...] = 0.0
         if self._next_slot is not None:
             self._next_slot[...] = 0
+
+    def backup(self) -> None:
+        """Snapshot current state (mirrors :meth:`Memory.backup`)."""
+        self._backup = (
+            self.mail.data.copy(),
+            self.time.copy(),
+            None if self._next_slot is None else self._next_slot.copy(),
+        )
+
+    def restore(self) -> None:
+        """Restore the last snapshot taken by :meth:`backup`."""
+        if self._backup is None:
+            raise RuntimeError("no mailbox backup to restore")
+        self.mail.data[...] = self._backup[0]
+        self.time[...] = self._backup[1]
+        if self._next_slot is not None:
+            self._next_slot[...] = self._backup[2]
 
     def validate(self) -> list:
         """Self-check invariants; returns violations (empty = healthy).

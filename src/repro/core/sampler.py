@@ -18,6 +18,7 @@ magnitude faster on large destination sets.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 import numpy as np
 
@@ -46,15 +47,35 @@ class TSampler:
         self.strategy = strategy
         self._rng = fork_generator(seed)
 
-    def sample(self, block: TBlock) -> TBlock:
-        """Fill *block* with sampled neighbor rows and return it."""
+    def sample(self, block: TBlock, num_nbrs: Optional[int] = None) -> TBlock:
+        """Fill *block* with sampled neighbor rows and return it.
+
+        ``num_nbrs`` overrides the configured fanout for this call (the
+        serving runtime's degradation ladder shrinks fanout under deadline
+        pressure); without it, a ``ctx.fanout_limit`` set on the block's
+        context caps the fanout instead.
+        """
         start = time.perf_counter()
         result = self.sample_arrays(
-            block.g.csr(), block.dstnodes, block.dsttimes, ctx=block.ctx
+            block.g.csr(), block.dstnodes, block.dsttimes, ctx=block.ctx,
+            num_nbrs=num_nbrs,
         )
         block.ctx.add_kernel_time("sample", time.perf_counter() - start)
         block.set_nbrs(*result)
         return block
+
+    def effective_fanout(self, ctx=None, num_nbrs: Optional[int] = None) -> int:
+        """Resolve the fanout for one call: explicit override, else the
+        context's ``fanout_limit`` cap, else the configured ``num_nbrs``."""
+        if num_nbrs is not None:
+            if num_nbrs <= 0:
+                raise ValueError("num_nbrs override must be positive")
+            return int(num_nbrs)
+        k = self.num_nbrs
+        limit = getattr(ctx, "fanout_limit", None) if ctx is not None else None
+        if limit is not None:
+            k = max(1, min(k, int(limit)))
+        return k
 
     def sample_arrays(
         self,
@@ -62,6 +83,7 @@ class TSampler:
         nodes: np.ndarray,
         times: np.ndarray,
         ctx=None,
+        num_nbrs: Optional[int] = None,
     ) -> SampleResult:
         """Core sampling kernel on raw arrays.
 
@@ -74,6 +96,7 @@ class TSampler:
         bit-identical loop-reference implementation is used instead —
         slower, but it shares no code with the faulty vectorized path.
         """
+        k = self.effective_fanout(ctx, num_nbrs)
         if ctx is not None and ctx.is_degraded("kernel.sample"):
             return _reference_sample_arrays(
                 csr.indptr,
@@ -82,7 +105,7 @@ class TSampler:
                 csr.etimes,
                 nodes,
                 times,
-                self.num_nbrs,
+                k,
                 strategy=self.strategy,
                 rng=self._rng,
             )
@@ -93,7 +116,7 @@ class TSampler:
             csr.etimes,
             nodes,
             times,
-            self.num_nbrs,
+            k,
             strategy=self.strategy,
             rng=self._rng,
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["CacheLayerStats", "PinnedPoolStats", "ContextStats"]
+__all__ = ["CacheLayerStats", "PinnedPoolStats", "LatencyStats", "ContextStats"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,21 @@ class PinnedPoolStats:
 
 
 @dataclass(frozen=True)
+class LatencyStats:
+    """Request-latency distribution recorded via ``ctx.record_latency``.
+
+    Percentiles are computed over a bounded reservoir of the most recent
+    samples (the serving runtime's per-request end-to-end latencies on
+    the simulated clock); ``count`` is the total ever recorded.
+    """
+
+    count: int
+    p50: float
+    p99: float
+    mean: float
+
+
+@dataclass(frozen=True)
 class ContextStats:
     """One coherent snapshot of a context's instrumentation.
 
@@ -57,6 +72,8 @@ class ContextStats:
     degraded: Dict[str, str] = field(default_factory=dict)
     #: transient kernel faults recorded per site.
     kernel_faults: Dict[str, int] = field(default_factory=dict)
+    #: per-request serving latency distribution; None before any request.
+    latency: Optional[LatencyStats] = None
 
     @property
     def cache_hits(self) -> int:
@@ -94,4 +111,7 @@ class ContextStats:
             flat["cache_hit_rate"] = self.cache_hit_rate
         for site in self.degraded:
             flat[f"degraded:{site}"] = 1.0
+        if self.latency is not None:
+            flat["latency_p50"] = self.latency.p50
+            flat["latency_p99"] = self.latency.p99
         return flat

@@ -106,6 +106,19 @@ class FaultInjector:
             killed mid-flight (tmp file truncated, write aborted).
         process_kill_at: optional ``(epoch, batch)`` at which the whole
             training process is hard-killed (``SimulatedProcessKill``).
+        serve_ingest_fault_rate: per-ingest-batch probability of a
+            transient fault inside the serving ingestion pipeline (site
+            ``serve.ingest``; the serve runtime advances the cursor to
+            ``(0, batch_seq)`` per ingest batch).
+        serve_ingest_fault_batches: explicit positions for ingest faults.
+        serve_commit_fault_rate: per-commit probability of a transient
+            fault mid state-commit, after partial application (site
+            ``serve.commit``; exercises snapshot rollback).
+        serve_commit_fault_batches: explicit positions for commit faults.
+        serve_poison_batches: positions at which the in-flight commit
+            payload is silently corrupted with NaN (site ``serve.poison``;
+            caught by post-commit validation, which rolls back and
+            quarantines the batch).
         transient: if True (default), each fault fires at most once per
             position so retries/replays succeed; if False, faults fire on
             every encounter (for testing retry exhaustion).
@@ -127,6 +140,11 @@ class FaultInjector:
         straggler_factor: float = 3.0,
         checkpoint_kill_batches: Iterable[Tuple[int, int]] = (),
         process_kill_at: Optional[Tuple[int, int]] = None,
+        serve_ingest_fault_rate: float = 0.0,
+        serve_ingest_fault_batches: Iterable[Tuple[int, int]] = (),
+        serve_commit_fault_rate: float = 0.0,
+        serve_commit_fault_batches: Iterable[Tuple[int, int]] = (),
+        serve_poison_batches: Iterable[Tuple[int, int]] = (),
         transient: bool = True,
     ):
         self.seed = int(seed)
@@ -136,6 +154,8 @@ class FaultInjector:
             "nan_grad": float(nan_grad_rate),
             "worker.crash": float(worker_crash_rate),
             "worker.straggler": float(straggler_rate),
+            "serve.ingest": float(serve_ingest_fault_rate),
+            "serve.commit": float(serve_commit_fault_rate),
         }
         self.schedules: Dict[str, Set[Tuple[int, ...]]] = {
             "kernel.sample": {tuple(p) for p in kernel_fault_batches},
@@ -144,6 +164,9 @@ class FaultInjector:
             "nan_grad": {tuple(p) for p in nan_grad_batches},
             "worker.crash": {tuple(p) for p in worker_crashes},
             "checkpoint.kill": {tuple(p) for p in checkpoint_kill_batches},
+            "serve.ingest": {tuple(p) for p in serve_ingest_fault_batches},
+            "serve.commit": {tuple(p) for p in serve_commit_fault_batches},
+            "serve.poison": {tuple(p) for p in serve_poison_batches},
         }
         self.straggler_factor = float(straggler_factor)
         self.process_kill_at = tuple(process_kill_at) if process_kill_at else None
@@ -215,6 +238,26 @@ class FaultInjector:
             cache = info.get("cache")
             if cache is not None and self._fires("cache.corrupt"):
                 self._corrupt_cache(cache)
+        elif site == "serve.ingest":
+            if self._fires("serve.ingest"):
+                raise TransientKernelError(
+                    f"injected transient ingestion fault at "
+                    f"(epoch {self.epoch}, batch {self.batch})",
+                    site="serve.ingest",
+                )
+        elif site == "serve.commit":
+            if self._fires("serve.commit"):
+                raise TransientKernelError(
+                    f"injected transient state-commit fault at "
+                    f"(epoch {self.epoch}, batch {self.batch})",
+                    site="serve.commit",
+                )
+        elif site == "serve.poison":
+            values = info.get("values")
+            if values is not None and len(values) and self._fires("serve.poison"):
+                # Corrupt a full column so the poison survives any
+                # last-event-wins coalescing of duplicate rows.
+                values[..., 0] = np.nan
         elif site == "optim.step":
             optimizer = info.get("optimizer")
             if optimizer is not None and self._fires("nan_grad"):

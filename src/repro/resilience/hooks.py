@@ -20,6 +20,9 @@ site                 where                                       returns
 ``worker.straggler`` ``SimulatedDataParallel.train_step``        replica -> slowdown
 ``checkpoint.kill``  ``bench.checkpoint.save_checkpoint``        ``None``
 ``trainer.batch``    ``bench.resilient.ResilientTrainer``        ``None``
+``serve.ingest``     ``serve.ingest.IngestPipeline.push``        ``None``
+``serve.commit``     ``serve.commit.StateCommitter.commit``      ``None``
+``serve.poison``     ``serve.commit`` payload staging            ``None``
 ===================  ==========================================  =========
 
 A site either returns a value (crash/straggler queries) or raises one of

@@ -1,0 +1,65 @@
+"""Robust online serving runtime for continuous-time temporal GNNs.
+
+The training-side framework assumes clean, pre-sorted, deduplicated
+datasets; a deployed TGNN faces none of those guarantees.  This package
+is the hardened streaming front end that restores them at runtime:
+
+* :mod:`~repro.serve.clock` — the simulated clock every latency decision
+  reads (deterministic replay, no wall-clock flakiness);
+* :mod:`~repro.serve.events` — the event wire format plus structured
+  validation (:class:`RejectReason`);
+* :mod:`~repro.serve.ingest` — validation/quarantine, idempotent replay
+  dedup, and bounded out-of-order reordering with watermark semantics;
+* :mod:`~repro.serve.admission` — token-bucket rate limiting, a bounded
+  request queue, and reject-new / drop-oldest load shedding;
+* :mod:`~repro.serve.deadline` — per-request deadline budgets and the
+  degradation ladder (full → reduced fanout → cache → memory-only);
+* :mod:`~repro.serve.commit` — watermarked all-or-nothing state commits
+  into ``Memory``/``Mailbox`` with snapshot-rollback;
+* :mod:`~repro.serve.runtime` — :class:`ServeRuntime`, the loop gluing
+  the above into request-in / prediction-out serving;
+* :mod:`~repro.serve.replay` — stream synthesis, poisoning, and the
+  offered-load replay harness shared by the CLI, tests, and benchmarks.
+
+The load-bearing guarantee is **poisoned-stream equivalence**: for any
+stream that adds malformed events, duplicates deliveries, and reorders
+arrivals within the configured lateness bound, the final committed
+``Memory``/``Mailbox`` state is bit-identical to replaying the clean
+stream — and every rejected event is accounted for in quarantine stats.
+"""
+
+from .admission import AdmissionController, AdmissionStats, TokenBucket
+from .clock import SimClock
+from .commit import CommitResult, CommitStats, StateCommitter
+from .deadline import LEVELS, CostModel, DegradationLadder, LadderDecision
+from .events import EventBatch, RejectReason, validate_events
+from .ingest import IngestPipeline, IngestStats, QuarantinedEvent
+from .replay import build_stream, poison_stream, replay, split_batches
+from .runtime import Request, RequestResult, ServeRuntime
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "TokenBucket",
+    "SimClock",
+    "CommitResult",
+    "CommitStats",
+    "StateCommitter",
+    "CostModel",
+    "DegradationLadder",
+    "LadderDecision",
+    "LEVELS",
+    "EventBatch",
+    "RejectReason",
+    "validate_events",
+    "IngestPipeline",
+    "IngestStats",
+    "QuarantinedEvent",
+    "build_stream",
+    "poison_stream",
+    "replay",
+    "split_batches",
+    "Request",
+    "RequestResult",
+    "ServeRuntime",
+]

@@ -1,0 +1,194 @@
+"""Watermarked state commits with snapshot-rollback atomicity.
+
+Releasing events from ingestion is only half the story — they still have
+to be applied to the node :class:`~repro.core.memory.Memory` and
+:class:`~repro.core.mailbox.Mailbox`, and a poisoned batch (NaN payload
+slipping past validation, a transient kernel fault mid-write) must never
+leave state *partially* updated.  :class:`StateCommitter` makes each
+batch apply-all-or-nothing:
+
+1. snapshot memory + mailbox (``backup()``);
+2. stage the endpoint updates (pure function of event content, so any
+   permutation of the same events stages the same rows);
+3. apply through ``Memory.update`` / ``Mailbox.store`` (whose
+   last-event-wins duplicate semantics keep the result order-invariant);
+4. re-validate the stores; violations roll the snapshot back and send
+   the whole batch to quarantine as ``POISONED_BATCH``.
+
+Transient faults from the ``serve.commit`` injection site are retried
+after rollback; the committed watermark only advances past batches that
+were applied and validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..resilience.errors import TransientKernelError
+from ..resilience.hooks import poke as _poke
+from .events import EventBatch
+
+__all__ = ["CommitResult", "CommitStats", "StateCommitter"]
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of one batch commit."""
+
+    applied: bool
+    events: int
+    retries: int = 0
+    violations: tuple = ()
+
+
+@dataclass
+class CommitStats:
+    """Running commit counters."""
+
+    batches: int = 0
+    events_applied: int = 0
+    retries: int = 0
+    rollbacks: int = 0
+    events_rolled_back: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "events_applied": self.events_applied,
+            "retries": self.retries,
+            "rollbacks": self.rollbacks,
+            "events_rolled_back": self.events_rolled_back,
+        }
+
+
+def _time_encode(ts: np.ndarray, dim: int) -> np.ndarray:
+    """Deterministic sinusoidal encoding of timestamps into ``(n, dim)``.
+
+    Used when events carry no payload (or the payload width does not
+    match the store): the staged value is still a pure function of event
+    content, preserving commit order-invariance.
+    """
+    freqs = 1.0 / np.power(10.0, 2.0 * np.arange(dim) / max(dim, 1))
+    return np.cos(ts[:, None] * freqs[None, :]).astype(np.float32)
+
+
+class StateCommitter:
+    """Apply released event batches to memory/mailbox atomically.
+
+    Args:
+        memory: the node memory store to commit into.
+        mailbox: optional mailbox receiving raw messages per endpoint.
+        max_retries: transient-fault retry budget per batch.
+        quarantine: optional callback ``(batch, detail)`` invoked when a
+            poisoned batch is rolled back (typically
+            :meth:`IngestPipeline.quarantine_batch`, keeping the event
+            ledger balanced).
+    """
+
+    def __init__(
+        self,
+        memory,
+        mailbox=None,
+        max_retries: int = 2,
+        quarantine=None,
+    ):
+        self.memory = memory
+        self.mailbox = mailbox
+        self.max_retries = int(max_retries)
+        self.quarantine = quarantine
+        self.stats = CommitStats()
+        #: greatest event timestamp durably applied and validated.
+        self.committed_watermark = -np.inf
+
+    # ---- staging -----------------------------------------------------------------
+
+    def _stage(self, batch: EventBatch):
+        """Build ``(nodes, values, times)`` endpoint updates from *batch*.
+
+        Both endpoints of each event receive the event's value row at the
+        event's timestamp.  The value row is the payload when its width
+        matches the memory dim, else a sinusoidal time encoding — either
+        way purely content-derived.
+        """
+        nodes = np.concatenate([batch.src, batch.dst])
+        times = np.concatenate([batch.ts, batch.ts])
+        dim = self.memory.dim
+        if batch.payload is not None and batch.payload.shape[1] == dim:
+            rows = batch.payload
+        else:
+            rows = _time_encode(batch.ts, dim)
+        values = np.concatenate([rows, rows])
+        return nodes, values, times
+
+    # ---- commit ------------------------------------------------------------------
+
+    def _snapshot(self) -> None:
+        self.memory.backup()
+        if self.mailbox is not None:
+            self.mailbox.backup()
+
+    def _rollback(self) -> None:
+        self.memory.restore()
+        if self.mailbox is not None:
+            self.mailbox.restore()
+
+    def _validate(self, max_time: float) -> List[str]:
+        errs = list(self.memory.validate(max_time=max_time))
+        if self.mailbox is not None:
+            errs += [f"mailbox: {e}" for e in self.mailbox.validate()]
+        return errs
+
+    def commit(self, batch: EventBatch) -> CommitResult:
+        """Apply *batch* atomically; returns whether it stuck.
+
+        On a validation failure after application, state is restored to
+        the pre-batch snapshot and the batch is quarantined (via the
+        ``quarantine`` callback) — the caller observes ``applied=False``
+        with the violations, never a partially updated store.
+        """
+        if not len(batch):
+            return CommitResult(applied=True, events=0)
+        self.stats.batches += 1
+        batch_max = float(batch.ts.max())
+        retries = 0
+        while True:
+            self._snapshot()
+            try:
+                _poke("serve.commit")  # transient-fault injection site
+                nodes, values, times = self._stage(batch)
+                # Poison injection site: corrupts staged values in place so
+                # the post-apply validation (and rollback) path is testable.
+                _poke("serve.poison", values=values)
+                self.memory.update(nodes, values, times)
+                if self.mailbox is not None:
+                    self.mailbox.store(nodes, values, times)
+            except TransientKernelError:
+                self._rollback()
+                if retries < self.max_retries:
+                    retries += 1
+                    self.stats.retries += 1
+                    continue
+                raise
+            violations = self._validate(max_time=batch_max)
+            if violations:
+                self._rollback()
+                self.stats.rollbacks += 1
+                self.stats.events_rolled_back += len(batch)
+                if self.quarantine is not None:
+                    self.quarantine(batch, "; ".join(violations))
+                return CommitResult(
+                    applied=False, events=len(batch),
+                    retries=retries, violations=tuple(violations),
+                )
+            self.stats.events_applied += len(batch)
+            self.committed_watermark = max(self.committed_watermark, batch_max)
+            return CommitResult(applied=True, events=len(batch), retries=retries)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateCommitter(watermark={self.committed_watermark:g}, "
+            f"applied={self.stats.events_applied}, rollbacks={self.stats.rollbacks})"
+        )

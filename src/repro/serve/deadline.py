@@ -1,0 +1,141 @@
+"""Per-request deadline budgets and the serving degradation ladder.
+
+Each admitted request carries a deadline on the simulated clock.  When
+the remaining budget cannot pay for full-quality inference, the ladder
+degrades the request one rung at a time instead of missing the deadline:
+
+====================  =====================================================
+rung                  what is served
+====================  =====================================================
+``full``              full-fanout temporal attention neighborhood
+``reduced``           same pipeline with the sampler fanout shrunk
+``cache``             embedding-cache rows (``op.cache`` tables); misses
+                      fall back to raw memory rows
+``memory``            memory-only cold predictions (no sampling, no cache)
+``timeout``           nothing — even the cheapest rung cannot make the
+                      deadline; the request is answered with a shed status
+====================  =====================================================
+
+The ladder composes with the training-path circuit breaker
+(:meth:`TContext.record_kernel_fault`): a context that has degraded
+``kernel.cache`` has no trustworthy cache tables, so the ``cache`` rung is
+skipped outright; a degraded ``kernel.sample`` makes sampling rungs pay
+the slower reference-path cost, which the cost model surfaces as an
+inflated estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["LadderDecision", "CostModel", "DegradationLadder", "LEVELS"]
+
+#: ladder rungs from least to most degraded.
+LEVELS = ("full", "reduced", "cache", "memory")
+
+
+@dataclass(frozen=True)
+class LadderDecision:
+    """Outcome of one ladder descent for one request."""
+
+    level: str
+    fanout: int
+    estimated_cost: float
+    reason: str = ""
+
+
+@dataclass
+class CostModel:
+    """Modeled per-event service cost (simulated seconds) per rung.
+
+    The defaults mirror the relative kernel costs measured by the Fig-7
+    breakdown: sampling dominates, cache lookups are cheap, raw memory
+    reads are nearly free.  ``reference_penalty`` multiplies sampling
+    rungs when ``kernel.sample`` is degraded to the loop-reference path.
+    """
+
+    per_event: Dict[str, float] = field(
+        default_factory=lambda: {
+            "full": 1.0e-4,
+            "reduced": 4.0e-5,
+            "cache": 1.0e-5,
+            "memory": 2.0e-6,
+        }
+    )
+    fixed: float = 1.0e-4
+    reference_penalty: float = 5.0
+
+    def estimate(self, level: str, n_events: int, ctx=None) -> float:
+        """Estimated simulated seconds to serve *n_events* at *level*."""
+        cost = self.fixed + self.per_event[level] * n_events
+        if (
+            level in ("full", "reduced")
+            and ctx is not None
+            and ctx.is_degraded("kernel.sample")
+        ):
+            cost *= self.reference_penalty
+        return cost
+
+
+class DegradationLadder:
+    """Deadline-driven rung selection for one serving context.
+
+    Args:
+        full_fanout: sampler fanout at the ``full`` rung.
+        reduced_fanout: shrunk fanout at the ``reduced`` rung.
+        cost_model: per-rung service-cost estimates.
+        headroom: safety multiplier on estimates (an estimate within
+            ``headroom * cost`` of the remaining budget is treated as
+            unaffordable, absorbing modeling error).
+    """
+
+    def __init__(
+        self,
+        full_fanout: int = 10,
+        reduced_fanout: int = 2,
+        cost_model: Optional[CostModel] = None,
+        headroom: float = 1.0,
+    ):
+        if not 1 <= reduced_fanout <= full_fanout:
+            raise ValueError("need 1 <= reduced_fanout <= full_fanout")
+        self.full_fanout = int(full_fanout)
+        self.reduced_fanout = int(reduced_fanout)
+        self.cost_model = cost_model or CostModel()
+        self.headroom = float(headroom)
+        #: requests served per rung (plus 'timeout'), for ctx.stats().
+        self.decisions: Dict[str, int] = {}
+
+    def fanout(self, level: str) -> int:
+        if level == "full":
+            return self.full_fanout
+        if level == "reduced":
+            return self.reduced_fanout
+        return 0
+
+    def decide(self, remaining_budget: float, n_events: int,
+               ctx=None) -> LadderDecision:
+        """Pick the least-degraded affordable rung for one request."""
+        for level in LEVELS:
+            if level == "cache" and ctx is not None and (
+                ctx.is_degraded("kernel.cache") or getattr(ctx, "cache_limit", 1) <= 0
+            ):
+                continue  # no trustworthy cache tables to serve from
+            cost = self.cost_model.estimate(level, n_events, ctx)
+            if cost * self.headroom <= remaining_budget:
+                self.decisions[level] = self.decisions.get(level, 0) + 1
+                reason = "" if level == "full" else (
+                    f"budget {remaining_budget:.3g}s cannot afford "
+                    f"{LEVELS[max(0, LEVELS.index(level) - 1)]}"
+                )
+                return LadderDecision(level, self.fanout(level), cost, reason)
+        self.decisions["timeout"] = self.decisions.get("timeout", 0) + 1
+        return LadderDecision(
+            "timeout", 0, 0.0,
+            f"budget {remaining_budget:.3g}s below cheapest rung",
+        )
+
+    @property
+    def degraded_serves(self) -> int:
+        """Requests answered below the ``full`` rung (incl. timeouts)."""
+        return sum(v for k, v in self.decisions.items() if k != "full")

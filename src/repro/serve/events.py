@@ -1,0 +1,176 @@
+"""Event batches and validation for the streaming ingestion pipeline.
+
+An :class:`EventBatch` is a struct-of-arrays view of interaction events —
+``(eid, src, dst, ts, payload)`` — the wire format of the serving path.
+Unlike the offline datasets (pre-sorted, deduplicated, clean), a live
+stream interleaves malformed, duplicated, and out-of-order events;
+:func:`validate_events` classifies each event with a structured reject
+reason so the ingestion pipeline can quarantine rather than crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["EventBatch", "RejectReason", "validate_events"]
+
+
+class RejectReason:
+    """Structured reject-reason vocabulary for quarantined events."""
+
+    NON_FINITE_TIME = "non_finite_timestamp"
+    NEGATIVE_TIME = "negative_timestamp"
+    NEGATIVE_NODE = "negative_node_id"
+    NODE_OUT_OF_RANGE = "node_id_out_of_range"
+    NON_FINITE_PAYLOAD = "non_finite_payload"
+    DUPLICATE_EID = "duplicate_event_id"
+    LATE_EVENT = "late_event_below_watermark"
+    POISONED_BATCH = "poisoned_commit_batch"
+    DEADLINE = "deadline_exceeded"
+
+    #: every reason the ingestion path itself can assign, in check order.
+    VALIDATION_ORDER = (
+        NON_FINITE_TIME,
+        NEGATIVE_TIME,
+        NEGATIVE_NODE,
+        NODE_OUT_OF_RANGE,
+        NON_FINITE_PAYLOAD,
+    )
+
+
+@dataclass
+class EventBatch:
+    """A batch of interaction events in struct-of-arrays form.
+
+    Args:
+        eids: int64 globally unique event ids (the idempotency key).
+        src: int64 source node ids.
+        dst: int64 destination node ids.
+        ts: float64 event timestamps.
+        payload: optional float32 ``(n, d)`` per-event feature rows (edge
+            features / raw message content); ``None`` means payload-free
+            events.
+    """
+
+    eids: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    ts: np.ndarray
+    payload: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.eids = np.asarray(self.eids, dtype=np.int64)
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        self.ts = np.asarray(self.ts, dtype=np.float64)
+        n = len(self.eids)
+        if not (len(self.src) == len(self.dst) == len(self.ts) == n):
+            raise ValueError("event arrays must have equal lengths")
+        if self.payload is not None:
+            self.payload = np.asarray(self.payload, dtype=np.float32)
+            if len(self.payload) != n:
+                raise ValueError(
+                    f"payload rows {len(self.payload)} != events {n}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.eids)
+
+    @classmethod
+    def empty(cls, payload_dim: Optional[int] = None) -> "EventBatch":
+        payload = (
+            np.empty((0, payload_dim), dtype=np.float32)
+            if payload_dim is not None
+            else None
+        )
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            payload,
+        )
+
+    def take(self, index: np.ndarray) -> "EventBatch":
+        """A new batch holding the events selected by *index* (mask or ids)."""
+        return EventBatch(
+            self.eids[index],
+            self.src[index],
+            self.dst[index],
+            self.ts[index],
+            None if self.payload is None else self.payload[index],
+        )
+
+    def sorted_by_time(self) -> "EventBatch":
+        """Events in canonical ``(ts, eid)`` order.
+
+        The tie-break on event id makes the order a total one, so any
+        bounded shuffle of the same events sorts back to an identical
+        sequence — the property the poisoned-stream equivalence guarantee
+        rests on.
+        """
+        order = np.lexsort((self.eids, self.ts))
+        return self.take(order)
+
+    @staticmethod
+    def concat(batches: Sequence["EventBatch"]) -> "EventBatch":
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return EventBatch.empty()
+        payload = None
+        if batches[0].payload is not None:
+            payload = np.concatenate([b.payload for b in batches])
+        return EventBatch(
+            np.concatenate([b.eids for b in batches]),
+            np.concatenate([b.src for b in batches]),
+            np.concatenate([b.dst for b in batches]),
+            np.concatenate([b.ts for b in batches]),
+            payload,
+        )
+
+    def __repr__(self) -> str:
+        span = (
+            f", t=[{self.ts.min():.6g}, {self.ts.max():.6g}]" if len(self) else ""
+        )
+        return f"EventBatch(n={len(self)}{span})"
+
+
+def validate_events(
+    batch: EventBatch, num_nodes: int
+) -> Tuple[np.ndarray, Dict[int, str]]:
+    """Classify each event as acceptable or rejected with a reason.
+
+    Returns ``(ok_mask, reasons)`` where ``reasons`` maps the index of
+    each rejected event (position within *batch*) to the first
+    :class:`RejectReason` it failed, checked in ``VALIDATION_ORDER``.
+    Purely vectorized: one boolean mask per reason, combined by priority.
+    """
+    n = len(batch)
+    ok = np.ones(n, dtype=bool)
+    reasons: Dict[int, str] = {}
+    if n == 0:
+        return ok, reasons
+
+    finite_ts = np.isfinite(batch.ts)
+    checks: List[Tuple[str, np.ndarray]] = [
+        (RejectReason.NON_FINITE_TIME, ~finite_ts),
+        (RejectReason.NEGATIVE_TIME, finite_ts & (batch.ts < 0)),
+        (RejectReason.NEGATIVE_NODE, (batch.src < 0) | (batch.dst < 0)),
+        (
+            RejectReason.NODE_OUT_OF_RANGE,
+            (batch.src >= num_nodes) | (batch.dst >= num_nodes),
+        ),
+    ]
+    if batch.payload is not None:
+        checks.append(
+            (RejectReason.NON_FINITE_PAYLOAD, ~np.isfinite(batch.payload).all(axis=1))
+        )
+    for reason, bad in checks:
+        fresh = bad & ok
+        ok &= ~bad
+        for i in np.flatnonzero(fresh):
+            reasons[int(i)] = reason
+    return ok, reasons

@@ -1,0 +1,239 @@
+"""Hardened streaming ingestion: validate, quarantine, dedup, reorder.
+
+A live event stream is everything the offline datasets are not: events
+arrive out of order (bounded by network skew), duplicated (at-least-once
+delivery), and malformed (clock bugs, failed joins).  The pipeline turns
+that stream back into the clean, totally-ordered sequence the state
+committer requires:
+
+1. **Validation** — each pushed batch runs through
+   :func:`~repro.serve.events.validate_events`; failures land in a
+   quarantine queue carrying a structured
+   :class:`~repro.serve.events.RejectReason` plus the offending event.
+2. **Idempotent replay dedup** — an event id seen before (released,
+   buffered, or quarantined as a duplicate) is dropped, so at-least-once
+   redelivery and replayed stream segments cannot double-apply.
+3. **Bounded reordering with watermark semantics** — accepted events wait
+   in a buffer; the watermark trails the maximum accepted timestamp by
+   the configured ``lateness`` bound, and only events at or below the
+   watermark are released, in canonical ``(ts, eid)`` order.  An event
+   arriving *below* the already-passed watermark is too late to reorder
+   and is quarantined as ``LATE_EVENT``.  The buffer is bounded: overflow
+   force-advances the watermark over the oldest buffered events so memory
+   stays capped under pathological skew.
+
+Released sequences are therefore identical for any arrival order whose
+skew stays within the lateness bound — the foundation of the
+poisoned-stream equivalence guarantee tested in ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..resilience.hooks import poke as _poke
+from .events import EventBatch, RejectReason, validate_events
+
+__all__ = ["QuarantinedEvent", "IngestStats", "IngestPipeline"]
+
+
+@dataclass(frozen=True)
+class QuarantinedEvent:
+    """One rejected event with its structured reject reason."""
+
+    eid: int
+    src: int
+    dst: int
+    ts: float
+    reason: str
+    detail: str = ""
+
+
+@dataclass
+class IngestStats:
+    """Running ingestion counters (every pushed event lands in exactly
+    one of accepted/duplicate/quarantined, so the ledger always balances:
+    ``pushed == accepted + duplicates + quarantined_total``)."""
+
+    pushed: int = 0
+    accepted: int = 0
+    released: int = 0
+    duplicates: int = 0
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    forced_releases: int = 0
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(self.quarantined.values())
+
+    @property
+    def buffered(self) -> int:
+        return self.accepted - self.released
+
+    def as_dict(self) -> Dict[str, int]:
+        flat = {
+            "pushed": self.pushed,
+            "accepted": self.accepted,
+            "released": self.released,
+            "buffered": self.buffered,
+            "duplicates": self.duplicates,
+            "forced_releases": self.forced_releases,
+        }
+        for reason, count in sorted(self.quarantined.items()):
+            flat[f"quarantined:{reason}"] = count
+        return flat
+
+
+class IngestPipeline:
+    """Validating, deduplicating, reordering front door for event streams.
+
+    Args:
+        num_nodes: node-id validity bound for incoming events.
+        lateness: reordering slack in stream-time units; the watermark is
+            ``max_accepted_ts - lateness``.  0 admits only a pre-sorted
+            stream (anything out of order is late).
+        max_buffer: reordering-buffer capacity in events; overflow
+            force-releases the oldest buffered events (watermark advance),
+            trading reordering slack for bounded memory.
+        quarantine_capacity: quarantined events retained for inspection
+            (counters are exact regardless; the queue keeps the most
+            recent entries).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        lateness: float = 0.0,
+        max_buffer: int = 10000,
+        quarantine_capacity: int = 10000,
+    ):
+        if lateness < 0:
+            raise ValueError("lateness must be >= 0")
+        if max_buffer < 1:
+            raise ValueError("max_buffer must be >= 1")
+        self.num_nodes = int(num_nodes)
+        self.lateness = float(lateness)
+        self.max_buffer = int(max_buffer)
+        self.quarantine_capacity = int(quarantine_capacity)
+        self.stats = IngestStats()
+        #: most recent quarantined events (bounded FIFO).
+        self.quarantine: List[QuarantinedEvent] = []
+        self.watermark = -np.inf
+        self._max_accepted = -np.inf
+        self._buffer: List[EventBatch] = []
+        self._buffered = 0
+        self._seen_eids: Set[int] = set()
+
+    # ---- quarantine --------------------------------------------------------------
+
+    def _quarantine(self, batch: EventBatch, idx: int, reason: str,
+                    detail: str = "") -> None:
+        self.stats.quarantined[reason] = self.stats.quarantined.get(reason, 0) + 1
+        self.quarantine.append(
+            QuarantinedEvent(
+                int(batch.eids[idx]), int(batch.src[idx]), int(batch.dst[idx]),
+                float(batch.ts[idx]), reason, detail,
+            )
+        )
+        if len(self.quarantine) > self.quarantine_capacity:
+            del self.quarantine[: -self.quarantine_capacity]
+
+    def quarantine_batch(self, batch: EventBatch, detail: str = "") -> None:
+        """Quarantine every event of an already-released batch.
+
+        Used by the state committer when a poisoned batch fails
+        validation after application and is rolled back: the events are
+        accounted for as ``POISONED_BATCH`` rejects rather than silently
+        vanishing from the ledger.
+        """
+        for i in range(len(batch)):
+            self._quarantine(batch, i, RejectReason.POISONED_BATCH, detail)
+
+    # ---- ingestion ---------------------------------------------------------------
+
+    def push(self, batch: EventBatch) -> EventBatch:
+        """Ingest one arriving batch; returns the events newly released.
+
+        Release order is canonical ``(ts, eid)`` and never regresses
+        across calls.  May raise a transient fault from the
+        ``serve.ingest`` injection site; the pipeline mutates no state
+        before that point, so a retried push is idempotent.
+        """
+        _poke("serve.ingest")  # fault-injection site (no-op unless armed)
+        self.stats.pushed += len(batch)
+
+        ok, reasons = validate_events(batch, self.num_nodes)
+        for idx, reason in reasons.items():
+            self._quarantine(batch, idx, reason)
+
+        # Idempotent replay dedup on event id: already-seen ids are
+        # dropped (counted, not quarantined — redelivery is normal
+        # at-least-once behaviour, not a malformed event).  Duplicates
+        # *within* the batch keep their first occurrence.
+        keep = np.flatnonzero(ok)
+        fresh: List[int] = []
+        for i in keep:
+            eid = int(batch.eids[i])
+            if eid in self._seen_eids:
+                self.stats.duplicates += 1
+            else:
+                self._seen_eids.add(eid)
+                fresh.append(int(i))
+        accepted = batch.take(np.asarray(fresh, dtype=np.int64))
+
+        # Late events: below the watermark the reordering window has
+        # already closed, so they cannot be merged back into order.
+        if len(accepted) and np.isfinite(self.watermark):
+            late = accepted.ts < self.watermark
+            if late.any():
+                for i in np.flatnonzero(late):
+                    self._quarantine(
+                        accepted, int(i), RejectReason.LATE_EVENT,
+                        f"watermark {self.watermark:g}",
+                    )
+                accepted = accepted.take(~late)
+
+        if len(accepted):
+            self.stats.accepted += len(accepted)
+            self._buffer.append(accepted)
+            self._buffered += len(accepted)
+            self._max_accepted = max(self._max_accepted, float(accepted.ts.max()))
+            self.watermark = max(self.watermark, self._max_accepted - self.lateness)
+
+        return self._release()
+
+    def flush(self) -> EventBatch:
+        """Release every buffered event (end of stream)."""
+        self.watermark = np.inf
+        out = self._release()
+        self.watermark = self._max_accepted
+        return out
+
+    # ---- release -----------------------------------------------------------------
+
+    def _release(self) -> EventBatch:
+        if not self._buffered:
+            return EventBatch.empty()
+        pending = EventBatch.concat(self._buffer).sorted_by_time()
+        cut = int(np.searchsorted(pending.ts, self.watermark, side="right"))
+        overflow = self._buffered - self.max_buffer
+        if overflow > cut:
+            # Bounded buffer: force the watermark over the oldest events.
+            cut = overflow
+            self.watermark = float(pending.ts[cut - 1])
+            self.stats.forced_releases += overflow
+        released = pending.take(np.arange(cut))
+        remainder = pending.take(np.arange(cut, len(pending)))
+        self._buffer = [remainder] if len(remainder) else []
+        self._buffered = len(remainder)
+        self.stats.released += len(released)
+        return released
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestPipeline(watermark={self.watermark:g}, "
+            f"buffered={self._buffered}, quarantined={self.stats.quarantined_total})"
+        )

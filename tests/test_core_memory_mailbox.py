@@ -78,10 +78,12 @@ class TestMailboxSingleSlot:
         assert mb.mail.data[0].sum() == 0
         assert mb.time[0] == 2.0
 
-    def test_duplicate_nodes_rejected(self):
+    def test_duplicate_nodes_coalesce_last_event_wins(self):
         mb = Mailbox(4, 2)
-        with pytest.raises(ValueError):
-            mb.store(np.array([1, 1]), T.ones(2, 2), np.array([1.0, 1.0]))
+        mail = np.array([[1.0, 1.0], [2.0, 2.0]], dtype=np.float32)
+        mb.store(np.array([1, 1]), T.tensor(mail), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(mb.mail.data[1], [2.0, 2.0])
+        assert mb.time[1] == 3.0
 
     def test_reset(self):
         mb = Mailbox(3, 2)

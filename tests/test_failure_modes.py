@@ -222,3 +222,109 @@ class TestNumericalRobustness:
         scores = T.zeros(4)
         out = T.segment_softmax(scores, np.array([0, 0, 0, 0]), 1)
         np.testing.assert_allclose(out.numpy(), np.full(4, 0.25), rtol=1e-6)
+
+
+class TestGraphInputHardening:
+    def test_non_finite_timestamp_rejected_with_index(self):
+        with pytest.raises(ValueError, match="non-finite edge timestamp.*index 1"):
+            tg.TGraph([0, 1, 2], [1, 2, 0], [1.0, np.nan, 3.0])
+
+    def test_infinite_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="non-finite edge timestamp"):
+            tg.TGraph([0, 1], [1, 0], [1.0, np.inf])
+
+    def test_negative_timestamp_rejected_with_index(self):
+        with pytest.raises(ValueError, match="negative edge timestamp.*index 0"):
+            tg.TGraph([0, 1], [1, 0], [-2.0, 3.0])
+
+    def test_negative_src_node_rejected_with_index(self):
+        with pytest.raises(ValueError, match="negative src node id -3 at index 1"):
+            tg.TGraph([0, -3], [1, 0], [1.0, 2.0])
+
+    def test_negative_dst_node_rejected_with_index(self):
+        with pytest.raises(ValueError, match="negative dst node id -1 at index 0"):
+            tg.TGraph([0, 1], [-1, 0], [1.0, 2.0])
+
+    def test_clean_graph_still_builds(self):
+        g = tg.TGraph([0, 1], [1, 0], [0.0, 1.0])
+        assert g.num_edges == 2
+
+
+class TestOutOfOrderAndDuplicateDelivery:
+    """Memory/Mailbox must absorb raw streaming batches: duplicated nodes
+    and permuted delivery order, with deterministic last-event-wins state."""
+
+    def _mem_after(self, order):
+        mem = tg.Memory(5, 3)
+        nodes = np.array([1, 2, 1, 2])[order]
+        times = np.array([1.0, 2.0, 5.0, 4.0])[order]
+        vals = np.arange(12, dtype=np.float32).reshape(4, 3)[order]
+        mem.update(nodes, T.tensor(vals), times)
+        return mem
+
+    def test_memory_duplicate_nodes_last_event_wins(self):
+        mem = self._mem_after(np.arange(4))
+        assert mem.time[1] == 5.0 and mem.time[2] == 4.0
+        np.testing.assert_array_equal(mem.data.data[1], [6.0, 7.0, 8.0])
+        np.testing.assert_array_equal(mem.data.data[2], [9.0, 10.0, 11.0])
+
+    def test_memory_update_is_order_invariant(self):
+        base = self._mem_after(np.arange(4))
+        for order in ([3, 2, 1, 0], [2, 0, 3, 1]):
+            permuted = self._mem_after(np.array(order))
+            np.testing.assert_array_equal(permuted.data.data, base.data.data)
+            np.testing.assert_array_equal(permuted.time, base.time)
+        assert not base.validate()
+
+    def test_memory_timestamp_tie_broken_by_content_not_position(self):
+        vals = np.array([[1.0, 0.0], [2.0, 0.0]], dtype=np.float32)
+        winners = []
+        for order in ([0, 1], [1, 0]):
+            mem = tg.Memory(3, 2)
+            mem.update(np.array([1, 1])[order], T.tensor(vals[order]),
+                       np.array([7.0, 7.0])[order])
+            winners.append(mem.data.data[1].copy())
+        np.testing.assert_array_equal(winners[0], winners[1])
+
+    def test_mailbox_single_slot_duplicates_last_event_wins(self):
+        mb = tg.Mailbox(4, 2, slots=1)
+        mb.store(np.array([2, 2, 2]),
+                 T.tensor(np.array([[1.0, 1], [2, 2], [3, 3]], dtype=np.float32)),
+                 np.array([3.0, 9.0, 6.0]))
+        np.testing.assert_array_equal(mb.mail.data[2], [2.0, 2.0])
+        assert mb.time[2] == 9.0
+
+    def test_mailbox_ring_duplicates_fill_consecutive_slots_canonically(self):
+        deliveries = (np.array([1, 1, 1]),
+                      np.array([[1.0, 0], [2, 0], [3, 0]], dtype=np.float32),
+                      np.array([5.0, 3.0, 4.0]))
+        states = []
+        for order in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+            mb = tg.Mailbox(4, 2, slots=3)
+            idx = np.array(order)
+            mb.store(deliveries[0][idx], T.tensor(deliveries[1][idx]),
+                     deliveries[2][idx])
+            states.append((mb.mail.data.copy(), mb.time.copy(),
+                           mb._next_slot.copy()))
+            assert not mb.validate()
+        for mail, times, cursor in states[1:]:
+            np.testing.assert_array_equal(mail, states[0][0])
+            np.testing.assert_array_equal(times, states[0][1])
+            np.testing.assert_array_equal(cursor, states[0][2])
+        # ascending time order within the ring: 3.0, 4.0, 5.0
+        np.testing.assert_array_equal(states[0][1][1], [3.0, 4.0, 5.0])
+
+    def test_mailbox_backup_restore_roundtrip(self):
+        mb = tg.Mailbox(3, 2, slots=2)
+        mb.store(np.array([0, 1]),
+                 T.tensor(np.ones((2, 2), dtype=np.float32)),
+                 np.array([1.0, 2.0]))
+        mb.backup()
+        snapshot = (mb.mail.data.copy(), mb.time.copy(), mb._next_slot.copy())
+        mb.store(np.array([0, 2]),
+                 T.tensor(np.full((2, 2), 9.0, dtype=np.float32)),
+                 np.array([5.0, 6.0]))
+        mb.restore()
+        np.testing.assert_array_equal(mb.mail.data, snapshot[0])
+        np.testing.assert_array_equal(mb.time, snapshot[1])
+        np.testing.assert_array_equal(mb._next_slot, snapshot[2])

@@ -1,0 +1,457 @@
+"""Tests for the online serving runtime (`repro.serve`).
+
+Covers the hardened-ingestion contract (validation, quarantine reasons,
+idempotent dedup, watermark reordering), admission control and load
+shedding, the deadline degradation ladder, atomic snapshot-rollback
+commits, the poisoned-stream equivalence guarantee, and chaos runs under
+`resilience.FaultInjector`.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro.core import Mailbox, Memory, TGraph, TSampler
+from repro.resilience import FaultInjector, TransientKernelError, validate_state
+from repro.serve import (
+    AdmissionController,
+    CostModel,
+    DegradationLadder,
+    EventBatch,
+    IngestPipeline,
+    RejectReason,
+    ServeRuntime,
+    SimClock,
+    StateCommitter,
+    TokenBucket,
+    build_stream,
+    poison_stream,
+    replay,
+    split_batches,
+    validate_events,
+)
+
+N = 60
+DIM = 8
+
+
+def _batch(eids, src, dst, ts, payload=None):
+    return EventBatch(np.asarray(eids), np.asarray(src), np.asarray(dst),
+                      np.asarray(ts), payload)
+
+
+def _runtime(stream, num_nodes=N, **kw):
+    g = TGraph(stream.src, stream.dst, stream.ts, num_nodes=num_nodes)
+    ctx = tg.TContext(g)
+    mem = Memory(num_nodes, DIM)
+    mb = Mailbox(num_nodes, DIM)
+    sampler = TSampler(10, seed=3)
+    kw.setdefault("deadline", 1.0)
+    kw.setdefault("max_queue", 1 << 30)
+    return ServeRuntime(g, ctx, mem, sampler, mailbox=mb, **kw)
+
+
+class TestValidation:
+    def test_clean_batch_all_ok(self):
+        b = _batch([0, 1], [1, 2], [3, 4], [1.0, 2.0])
+        ok, reasons = validate_events(b, N)
+        assert ok.all() and reasons == {}
+
+    def test_each_reject_reason(self):
+        payload = np.zeros((6, 2), dtype=np.float32)
+        payload[5, 1] = np.inf
+        b = _batch(
+            [0, 1, 2, 3, 4, 5],
+            [1, 1, -2, N + 5, 1, 1],
+            [2, 2, 3, 2, 2, 2],
+            [np.nan, -1.0, 1.0, 1.0, 1.0, 1.0],
+            payload,
+        )
+        ok, reasons = validate_events(b, N)
+        assert list(np.flatnonzero(~ok)) == [0, 1, 2, 3, 5]
+        assert reasons[0] == RejectReason.NON_FINITE_TIME
+        assert reasons[1] == RejectReason.NEGATIVE_TIME
+        assert reasons[2] == RejectReason.NEGATIVE_NODE
+        assert reasons[3] == RejectReason.NODE_OUT_OF_RANGE
+        assert reasons[5] == RejectReason.NON_FINITE_PAYLOAD
+
+    def test_first_failed_check_wins(self):
+        b = _batch([0], [-1], [2], [np.nan])
+        _, reasons = validate_events(b, N)
+        assert reasons[0] == RejectReason.NON_FINITE_TIME
+
+
+class TestIngestPipeline:
+    def test_quarantines_with_structured_reasons(self):
+        p = IngestPipeline(N)
+        out = p.push(_batch([0, 1, 2], [1, -1, 2], [2, 2, N + 9], [1.0, 1.0, 1.0]))
+        assert len(out) == 1
+        assert p.stats.quarantined == {
+            RejectReason.NEGATIVE_NODE: 1,
+            RejectReason.NODE_OUT_OF_RANGE: 1,
+        }
+        reasons = {q.reason for q in p.quarantine}
+        assert reasons == {RejectReason.NEGATIVE_NODE,
+                           RejectReason.NODE_OUT_OF_RANGE}
+
+    def test_idempotent_replay_dedup(self):
+        p = IngestPipeline(N)
+        first = p.push(_batch([7, 8], [1, 2], [3, 4], [1.0, 2.0]))
+        again = p.push(_batch([7, 8], [1, 2], [3, 4], [1.0, 2.0]))
+        assert len(first) == 2 and len(again) == 0
+        assert p.stats.duplicates == 2
+        # duplicates are normal redelivery, not quarantine material
+        assert p.stats.quarantined_total == 0
+
+    def test_watermark_holds_back_recent_events(self):
+        p = IngestPipeline(N, lateness=5.0)
+        out = p.push(_batch([0, 1, 2], [1, 1, 1], [2, 2, 2], [1.0, 4.0, 10.0]))
+        # watermark = 10 - 5 = 5: only ts <= 5 released
+        assert list(out.ts) == [1.0, 4.0]
+        assert p.stats.buffered == 1
+        assert len(p.flush()) == 1
+
+    def test_out_of_order_within_lateness_released_in_order(self):
+        p = IngestPipeline(N, lateness=10.0)
+        p.push(_batch([0], [1], [2], [7.0]))
+        p.push(_batch([1], [1], [2], [3.0]))  # late but within bound
+        out = p.flush()
+        assert list(out.ts) == [3.0, 7.0]
+        assert p.stats.quarantined_total == 0
+
+    def test_event_below_watermark_quarantined_late(self):
+        p = IngestPipeline(N, lateness=1.0)
+        p.push(_batch([0], [1], [2], [100.0]))  # watermark -> 99
+        p.push(_batch([1], [1], [2], [5.0]))
+        assert p.stats.quarantined == {RejectReason.LATE_EVENT: 1}
+
+    def test_release_order_is_canonical_ts_eid(self):
+        p = IngestPipeline(N, lateness=100.0)
+        p.push(_batch([5, 2], [1, 1], [2, 2], [4.0, 4.0]))
+        p.push(_batch([1], [1], [2], [4.0]))
+        out = p.flush()
+        assert list(out.eids) == [1, 2, 5]
+
+    def test_buffer_overflow_forces_watermark_advance(self):
+        p = IngestPipeline(N, lateness=1e9, max_buffer=3)
+        out = p.push(_batch(np.arange(5), np.ones(5, int), np.full(5, 2),
+                            np.arange(5, dtype=float)))
+        # lateness would buffer everything; the bound forces 2 releases
+        assert len(out) == 2
+        assert p.stats.forced_releases == 2
+        assert p.stats.buffered == 3
+
+    def test_ledger_always_balances(self):
+        p = IngestPipeline(N, lateness=2.0)
+        p.push(_batch([0, 1, 0], [1, -1, 1], [2, 2, 2], [1.0, 1.0, 1.0]))
+        p.push(_batch([3], [1], [2], [np.nan]))
+        s = p.stats
+        assert s.pushed == s.accepted + s.duplicates + s.quarantined_total
+
+    def test_ingest_fault_retry_is_idempotent(self):
+        p = IngestPipeline(N)
+        inj = FaultInjector(seed=1, serve_ingest_fault_batches=[(0, 0)])
+        b = _batch([0, 1], [1, 2], [3, 4], [1.0, 2.0])
+        with inj:
+            inj.advance(0, 0)
+            with pytest.raises(TransientKernelError):
+                p.push(b)
+            out = p.push(b)  # transient: second attempt succeeds
+        assert len(out) == 2
+        assert p.stats.pushed == 2 and p.stats.duplicates == 0
+
+
+class TestAdmission:
+    def test_token_bucket_rate_limits_on_sim_clock(self):
+        clock = SimClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # refills one token
+        assert bucket.try_acquire()
+
+    def test_reject_new_sheds_arrivals_when_full(self):
+        ac = AdmissionController(SimClock(), max_queue=2)
+        assert ac.offer("a") and ac.offer("b")
+        assert not ac.offer("c")
+        assert ac.stats.shed_queue_full == 1
+        assert ac.drain_shed() == ["c"]
+        assert ac.poll() == "a"
+
+    def test_drop_oldest_evicts_queue_head(self):
+        ac = AdmissionController(SimClock(), max_queue=2, policy="drop-oldest")
+        ac.offer("a"), ac.offer("b")
+        assert ac.offer("c")  # admitted; evicts "a"
+        assert ac.drain_shed() == ["a"]
+        assert ac.poll() == "b" and ac.poll() == "c"
+
+    def test_offered_equals_admitted_plus_shed(self):
+        clock = SimClock()
+        ac = AdmissionController(clock, max_queue=3, rate=1.0, burst=2.0)
+        for _ in range(8):
+            ac.offer(object())
+            clock.advance(0.1)
+        s = ac.stats
+        assert s.offered == s.admitted + s.shed_total == 8
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="shed policy"):
+            AdmissionController(SimClock(), policy="coin-flip")
+
+
+class TestDegradationLadder:
+    def test_generous_budget_serves_full(self):
+        ladder = DegradationLadder(full_fanout=10)
+        d = ladder.decide(1.0, 100)
+        assert d.level == "full" and d.fanout == 10
+
+    def test_ladder_descends_with_budget(self):
+        ladder = DegradationLadder(full_fanout=10, reduced_fanout=2)
+        cm = ladder.cost_model
+        levels = [
+            ladder.decide(cm.estimate(lv, 100) * 1.001, 100).level
+            for lv in ("full", "reduced", "cache", "memory")
+        ]
+        assert levels == ["full", "reduced", "cache", "memory"]
+
+    def test_timeout_when_nothing_affordable(self):
+        ladder = DegradationLadder()
+        d = ladder.decide(0.0, 100)
+        assert d.level == "timeout" and ladder.decisions["timeout"] == 1
+
+    def test_cache_rung_skipped_when_cache_degraded(self):
+        g = TGraph([0], [1], [1.0])
+        ctx = tg.TContext(g)
+        ctx.degrade_threshold = 1
+        ctx.record_kernel_fault("kernel.cache")
+        assert ctx.is_degraded("kernel.cache")
+        ladder = DegradationLadder()
+        budget = ladder.cost_model.estimate("cache", 100) * 1.001
+        assert ladder.decide(budget, 100, ctx).level == "memory"
+
+    def test_degraded_sampler_inflates_sampling_cost(self):
+        g = TGraph([0], [1], [1.0])
+        ctx = tg.TContext(g)
+        ctx.degrade_threshold = 1
+        ctx.record_kernel_fault("kernel.sample")
+        cm = CostModel()
+        assert cm.estimate("full", 50, ctx) == pytest.approx(
+            cm.estimate("full", 50) * cm.reference_penalty)
+        assert cm.estimate("memory", 50, ctx) == cm.estimate("memory", 50)
+
+
+class TestStateCommitter:
+    def test_commit_applies_and_advances_watermark(self):
+        mem, mb = Memory(N, DIM), Mailbox(N, DIM)
+        c = StateCommitter(mem, mailbox=mb)
+        r = c.commit(_batch([0, 1], [1, 2], [3, 4], [1.0, 2.0]))
+        assert r.applied and c.committed_watermark == 2.0
+        assert mem.time[1] == 1.0 and mem.time[4] == 2.0
+        assert (mem.data.data[3] != 0).any()
+
+    def test_poisoned_batch_rolls_back_bit_identical(self):
+        mem, mb = Memory(N, DIM), Mailbox(N, DIM)
+        c = StateCommitter(mem, mailbox=mb)
+        c.commit(_batch([0], [1], [2], [1.0]))
+        before = (mem.data.data.copy(), mem.time.copy(),
+                  mb.mail.data.copy(), mb.time.copy())
+        quarantined = []
+        c.quarantine = lambda b, d: quarantined.append((len(b), d))
+        inj = FaultInjector(seed=2, serve_poison_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            r = c.commit(_batch([5, 6], [7, 8], [9, 10], [2.0, 3.0]))
+        assert not r.applied and r.violations
+        assert quarantined and quarantined[0][0] == 2
+        assert np.array_equal(mem.data.data, before[0])
+        assert np.array_equal(mem.time, before[1])
+        assert np.array_equal(mb.mail.data, before[2])
+        assert np.array_equal(mb.time, before[3])
+        assert c.committed_watermark == 1.0  # never advanced past the rollback
+
+    def test_transient_commit_fault_retries(self):
+        mem = Memory(N, DIM)
+        c = StateCommitter(mem)
+        inj = FaultInjector(seed=3, serve_commit_fault_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            r = c.commit(_batch([0], [1], [2], [1.0]))
+        assert r.applied and r.retries == 1
+        assert mem.time[1] == 1.0
+
+    def test_commit_is_order_invariant(self):
+        b = _batch([0, 1, 2], [1, 1, 5], [2, 3, 1], [1.0, 3.0, 2.0],
+                   np.arange(24, dtype=np.float32).reshape(3, 8))
+        states = []
+        for perm in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            mem = Memory(N, DIM)
+            StateCommitter(mem).commit(b.take(np.array(perm)))
+            states.append((mem.data.data.copy(), mem.time.copy()))
+        for data, time in states[1:]:
+            assert np.array_equal(data, states[0][0])
+            assert np.array_equal(time, states[0][1])
+
+
+class TestServeRuntime:
+    def test_clean_stream_full_quality(self):
+        stream = build_stream(N, 200, payload_dim=DIM, seed=1)
+        rt = _runtime(stream)
+        results = replay(rt, split_batches(stream, 25), load=1.0)
+        assert all(r.status == "ok" and r.level == "full" for r in results)
+        assert rt.committer.stats.events_applied == 200
+        assert rt.ctx.counters["serve:admitted"] == 8
+        lat = rt.ctx.stats().latency
+        assert lat is not None and lat.count == 8 and lat.p99 >= lat.p50 > 0
+
+    def test_scores_are_probabilities_and_junk_is_nan(self):
+        stream = build_stream(N, 50, payload_dim=DIM, seed=2)
+        rt = _runtime(stream)
+        bad = _batch([900], [N + 4], [1], [1.0],
+                     np.zeros((1, DIM), dtype=np.float32))
+        mixed = EventBatch.concat([stream.take(np.arange(10)), bad])
+        rt.submit(mixed)
+        r = rt.step()
+        assert r.status == "ok"
+        assert np.isnan(r.scores[-1])
+        good = r.scores[:-1]
+        assert np.isfinite(good).all() and (good > 0).all() and (good < 1).all()
+
+    def test_shed_under_load_with_bounded_queue(self):
+        stream = build_stream(N, 400, payload_dim=DIM, seed=3)
+        rt = _runtime(stream, deadline=3e-3, max_queue=4)
+        results = replay(rt, split_batches(stream, 20), load=16.0)
+        statuses = {r.status for r in results}
+        assert "shed" in statuses
+        s = rt.admission.stats
+        assert s.offered == s.admitted + s.shed_total == 20
+        assert rt.ctx.counters["serve:shed"] == s.shed_total
+        # every offered request got an answer
+        assert len(results) == 20
+
+    def test_deadline_pressure_walks_down_ladder(self):
+        stream = build_stream(N, 400, payload_dim=DIM, seed=4)
+        rt = _runtime(stream, deadline=3e-3, max_queue=64)
+        replay(rt, split_batches(stream, 20), load=16.0)
+        rungs = set(rt.ladder.decisions)
+        assert rungs - {"full"}, f"no degradation under 16x load: {rungs}"
+        degraded = [k for k in rt.ctx.counters if k.startswith("serve:degraded:")]
+        assert degraded
+
+    def test_degraded_responses_never_degrade_state(self):
+        # Same stream served under brutal deadlines vs none: final state
+        # must match exactly (the ladder degrades responses, not commits),
+        # as long as nothing is shed.
+        stream = build_stream(N, 300, payload_dim=DIM, seed=5)
+        batches = split_batches(stream, 30)
+        rt_fast = _runtime(stream, deadline=2e-4)
+        replay(rt_fast, batches, load=16.0)
+        assert rt_fast.ladder.degraded_serves > 0
+        rt_slow = _runtime(stream)
+        replay(rt_slow, batches, load=1.0)
+        assert np.array_equal(rt_fast.memory.data.data, rt_slow.memory.data.data)
+        assert np.array_equal(rt_fast.mailbox.mail.data, rt_slow.mailbox.mail.data)
+
+    def test_sixteen_x_load_stays_available_with_consistent_stats(self):
+        stream = build_stream(N, 600, payload_dim=DIM, seed=6)
+        rt = _runtime(stream, deadline=3e-3, max_queue=8)
+        results = replay(rt, split_batches(stream, 20), load=16.0)
+        assert len(results) == 30  # every request answered: available
+        st = rt.ingest.stats
+        assert st.pushed == st.accepted + st.duplicates + st.quarantined_total
+        assert rt.committer.stats.events_applied == st.released
+        stats = rt.ctx.stats()
+        assert stats.latency.count == sum(
+            1 for r in results if r.status != "shed")
+        assert not rt.memory.validate() and not rt.mailbox.validate()
+
+
+class TestPoisonedStreamEquivalence:
+    def _final_state(self, clean, served, lateness, batch_size):
+        rt = _runtime(clean, lateness=lateness)
+        for b in split_batches(served, batch_size):
+            rt.submit(b)
+            rt.step()
+        rt.drain()
+        return rt
+
+    def test_bit_identical_state_and_full_accounting(self):
+        clean = build_stream(N, 300, payload_dim=DIM, seed=7)
+        poisoned, lateness, injected = poison_stream(clean, N, seed=8)
+        rt_c = self._final_state(clean, clean, 0.0, 17)
+        rt_p = self._final_state(clean, poisoned, lateness, 23)
+
+        assert np.array_equal(rt_c.memory.data.data, rt_p.memory.data.data)
+        assert np.array_equal(rt_c.memory.time, rt_p.memory.time)
+        assert np.array_equal(rt_c.mailbox.mail.data, rt_p.mailbox.mail.data)
+        assert np.array_equal(rt_c.mailbox.time, rt_p.mailbox.time)
+
+        st = rt_p.ingest.stats
+        n_junk = sum(v for k, v in injected.items() if k != "redelivered")
+        assert st.quarantined_total == n_junk
+        assert st.duplicates == injected["redelivered"]
+        assert st.pushed == st.accepted + st.duplicates + st.quarantined_total
+        # every quarantined event carries a structured reason
+        assert all(q.reason for q in rt_p.ingest.quarantine)
+
+    def test_equivalence_with_multislot_mailbox(self):
+        clean = build_stream(N, 200, payload_dim=DIM, seed=9)
+        poisoned, lateness, _ = poison_stream(clean, N, seed=10,
+                                              shuffle_window=4)
+
+        def run(events, lateness):
+            g = TGraph(clean.src, clean.dst, clean.ts, num_nodes=N)
+            ctx = tg.TContext(g)
+            mem, mb = Memory(N, DIM), Mailbox(N, DIM, slots=3)
+            rt = ServeRuntime(g, ctx, mem, TSampler(10, seed=3), mailbox=mb,
+                              deadline=1.0, max_queue=1 << 30,
+                              lateness=lateness)
+            for b in split_batches(events, 13):
+                rt.submit(b)
+                rt.step()
+            rt.drain()
+            return mem, mb
+
+        mem_c, mb_c = run(clean, 0.0)
+        mem_p, mb_p = run(poisoned, lateness)
+        assert np.array_equal(mem_c.data.data, mem_p.data.data)
+        assert np.array_equal(mb_c.mail.data, mb_p.mail.data)
+        assert np.array_equal(mb_c.time, mb_p.time)
+        assert np.array_equal(mb_c._next_slot, mb_p._next_slot)
+
+
+class TestChaos:
+    def test_chaos_run_stays_valid_and_accounted(self):
+        stream = build_stream(N, 400, payload_dim=DIM, seed=11)
+        inj = FaultInjector(
+            seed=12,
+            serve_ingest_fault_rate=0.2,
+            serve_commit_fault_rate=0.2,
+            serve_poison_batches=[(0, 3), (0, 9)],
+        )
+        rt = _runtime(stream, injector=inj)
+        with inj:
+            results = replay(rt, split_batches(stream, 20), load=1.0)
+        assert len(results) == 20
+        sites = {e.site for e in inj.log}
+        assert {"serve.ingest", "serve.commit", "serve.poison"} <= sites
+        assert rt.committer.stats.rollbacks >= 1
+        assert rt.committer.stats.retries >= 1
+        # poisoned batches are fully accounted as quarantined events
+        q = rt.ingest.stats.quarantined.get(RejectReason.POISONED_BATCH, 0)
+        assert q == rt.committer.stats.events_rolled_back
+        assert rt.ctx.counters["serve:quarantined"] == q
+        assert validate_state(rt.graph, rt.ctx) == []
+        assert not rt.memory.validate() and not rt.mailbox.validate()
+        assert np.isfinite(rt.memory.data.data).all()
+
+    def test_chaos_at_16x_overload(self):
+        stream = build_stream(N, 400, payload_dim=DIM, seed=13)
+        inj = FaultInjector(seed=14, serve_ingest_fault_rate=0.1,
+                            serve_commit_fault_rate=0.1)
+        rt = _runtime(stream, deadline=3e-3, max_queue=8, injector=inj)
+        with inj:
+            results = replay(rt, split_batches(stream, 20), load=16.0)
+        assert len(results) == 20  # available under chaos + overload
+        st = rt.ingest.stats
+        assert st.pushed == st.accepted + st.duplicates + st.quarantined_total
+        assert validate_state(rt.graph, rt.ctx) == []
