@@ -18,11 +18,13 @@ naming the file instead of a numpy/zipfile internals error.
 from __future__ import annotations
 
 import os
+import warnings
 import zlib
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..durable.wal import fsync_dir
 from ..nn import Adam, Module, Optimizer, SGD
 from ..resilience.hooks import poke as _poke
 
@@ -191,14 +193,25 @@ def save_checkpoint(
             os.fsync(fh.fileno())
         _poke("checkpoint.kill", path=tmp)  # fault site: may truncate + raise
         os.replace(tmp, path)
+        # The rename itself is only durable once the directory entry is
+        # flushed; without this a crash shortly after save_checkpoint can
+        # roll the directory back to the *previous* checkpoint (or none).
+        fsync_dir(directory)
     except BaseException:
         if os.path.exists(tmp):
             os.remove(tmp)
         raise
 
 
-def _read_archive(path: str) -> Dict[str, np.ndarray]:
-    """Load and integrity-check an archive; clean errors on corruption."""
+def _read_archive(path: str) -> Tuple[Dict[str, np.ndarray], bool]:
+    """Load and integrity-check an archive; clean errors on corruption.
+
+    Returns ``(arrays, verified)`` — ``verified`` is False for archives
+    written without a CRC section (format version 1), whose content
+    could be silently corrupt.  Previously that skip was invisible to
+    callers; now it is surfaced all the way up through
+    :func:`load_checkpoint`.
+    """
     if not os.path.exists(path):
         raise FileNotFoundError(f"no checkpoint at {path!r}")
     try:
@@ -209,12 +222,20 @@ def _read_archive(path: str) -> Dict[str, np.ndarray]:
             f"checkpoint file {path!r} is corrupted or truncated ({exc})"
         ) from exc
     stored_crc = arrays.pop(_META_CRC, None)
-    if stored_crc is not None and int(stored_crc[0]) != _crc32_of(arrays):
+    if stored_crc is None:
+        warnings.warn(
+            f"checkpoint {path!r} has no stored CRC32 (format version 1 "
+            "archive?): integrity cannot be verified",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return arrays, False
+    if int(stored_crc[0]) != _crc32_of(arrays):
         raise ValueError(
             f"checkpoint file {path!r} failed its CRC32 integrity check "
             "(partial write or bit corruption)"
         )
-    return arrays
+    return arrays, True
 
 
 def load_checkpoint(
@@ -231,11 +252,14 @@ def load_checkpoint(
     (missing parameters, wrong shapes, state the target cannot hold), so
     silently loading the wrong checkpoint is not possible.
 
-    Returns a metadata dict with the archive ``"version"`` and the
+    Returns a metadata dict with the archive ``"version"``, the
     ``"stream"`` cursor (``(epoch, batch)`` tuple, or ``None`` for
-    checkpoints taken outside a resumable training loop).
+    checkpoints taken outside a resumable training loop), and
+    ``"verified"`` — whether the archive's CRC32 was present and checked
+    (False only for legacy version-1 archives, which also raise a
+    ``RuntimeWarning``).
     """
-    arrays = _read_archive(path)
+    arrays, verified = _read_archive(path)
     version = int(arrays.pop(_META, np.array([0]))[0])
     if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported checkpoint format version: {version}")
@@ -292,4 +316,5 @@ def load_checkpoint(
     return {
         "version": version,
         "stream": (int(stream[0]), int(stream[1])) if stream is not None else None,
+        "verified": verified,
     }

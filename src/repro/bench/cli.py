@@ -109,6 +109,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--assert-valid", action="store_true",
                         help="exit nonzero on state violations or an "
                              "unbalanced ingestion ledger")
+    parser.add_argument("--durable-dir", default=None,
+                        help="write-ahead log each committed batch into this "
+                             "directory (crash-consistent durable state)")
+    parser.add_argument("--fsync", choices=("always", "batch", "never"),
+                        default="batch",
+                        help="WAL durability policy (with --durable-dir)")
+    parser.add_argument("--snapshot-every", type=int, default=256,
+                        help="commits between durable snapshots; 0 disables "
+                             "(with --durable-dir)")
+    parser.add_argument("--recover", action="store_true",
+                        help="replay --durable-dir into memory/mailbox before "
+                             "serving (resume a crashed runtime)")
     return parser
 
 
@@ -153,6 +165,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             shed_policy=args.shed_policy,
             rate=None if reliable else args.rate,
             injector=injector,
+            durable_dir=None if reliable else args.durable_dir,
+            durable_fsync=args.fsync,
+            snapshot_every=args.snapshot_every or None,
+            recover=args.recover,
         )
         return g, ctx, mem, mailbox, runtime
 
@@ -185,6 +201,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print(f"  latency: p50={lat.p50:.4g}s p99={lat.p99:.4g}s (n={lat.count})")
     if injector is not None:
         print(f"  chaos: {len(injector.log)} faults fired")
+    runtime.close()  # seal the WAL: everything committed is now durable
 
     failures = []
     violations = (validate_state(g, ctx) + mem.validate() + mailbox.validate())

@@ -25,7 +25,14 @@ Checkpoints are written every ``checkpoint_every`` batches through
 :func:`repro.bench.checkpoint.save_checkpoint` (atomic, CRC-verified)
 and carry the RNG + cursor state needed for bit-exact mid-epoch resume:
 a training process hard-killed between checkpoints restarts with
-``resume=True`` and continues on the same trajectory.  State invariants
+``resume=True`` and continues on the same trajectory.  With
+``delta_log=True`` the trainer additionally write-ahead logs a cheap
+incremental delta after every successful batch (changed memory/mailbox
+rows, parameters, optimizer moments, RNG words) into a
+:class:`~repro.durable.store.DurableStateStore` under
+``checkpoint_dir/wal``; resume then replays ``checkpoint + delta
+suffix``, landing at the last durably completed batch instead of the
+last full checkpoint — same bit-exact trajectory, far less recomputation.  State invariants
 (:func:`repro.resilience.validate.validate_state`) are checked before
 each checkpoint so corrupted state is never persisted — a violation
 clears the derived caches and rolls back instead.
@@ -59,9 +66,17 @@ from ..resilience.errors import (
     TransientKernelError,
 )
 from ..resilience.validate import validate_state
+from ..durable.codec import KIND_DELTA, KIND_MARKER
 from ..tensor import Tensor
 from ..tensor.random import default_generator
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    _optimizer_state,
+    _pack_generator,
+    _restore_generator,
+    _restore_optimizer,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .trainer import EpochResult, TrainResult, _mark_time_encoders_updated, evaluate
 
 __all__ = ["ResilienceEvent", "ResilientResult", "ResilientTrainer"]
@@ -141,6 +156,12 @@ class ResilientTrainer:
         extra_generators: additional named RNG streams to checkpoint and
             snapshot (e.g. a model sampler's ``_rng`` under uniform
             neighbor sampling).
+        delta_log: write-ahead log an incremental state delta after every
+            successful batch (into ``checkpoint_dir/wal``) so resume
+            replays ``checkpoint + delta suffix`` instead of recomputing
+            the whole checkpoint interval.
+        delta_fsync: WAL durability policy for the delta log
+            (``'always'`` / ``'batch'`` / ``'never'``).
     """
 
     CHECKPOINT_NAME = "resilient.npz"
@@ -162,6 +183,8 @@ class ResilientTrainer:
         interconnect_bandwidth: float = 1.0e9,
         validate_on_checkpoint: bool = True,
         extra_generators: Optional[Dict[str, np.random.Generator]] = None,
+        delta_log: bool = False,
+        delta_fsync: str = "always",
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -186,6 +209,13 @@ class ResilientTrainer:
             if num_replicas > 1
             else None
         )
+        self.store = None
+        if delta_log:
+            from ..durable.store import DurableStateStore
+
+            self.store = DurableStateStore(
+                os.path.join(checkpoint_dir, "wal"), fsync=delta_fsync
+            )
 
     # ---- state plumbing ---------------------------------------------------------
 
@@ -234,6 +264,117 @@ class ResilientTrainer:
             if mb._next_slot is not None:
                 mb._next_slot[...] = snap["mailbox"][2]
 
+    # ---- incremental delta log --------------------------------------------------
+
+    def _build_delta(self, snap: dict) -> Dict[str, np.ndarray]:
+        """Everything one completed batch changed, as a flat array dict.
+
+        Memory/mailbox are diffed against the pre-batch snapshot (only
+        the touched rows are logged); parameters, optimizer moments, and
+        RNG words are small and logged whole.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in self.model.state_dict().items():
+            arrays["model/" + name] = value
+        for key, value in _optimizer_state(self.optimizer).items():
+            arrays["optim/" + key] = value
+        for name, gen in self._generators().items():
+            arrays["rng/" + name] = _pack_generator(gen)
+        if self.g.mem is not None and "mem" in snap:
+            data, times = self.g.mem.data.data, self.g.mem.time
+            changed = np.flatnonzero(
+                (data != snap["mem"][0]).any(axis=1) | (times != snap["mem"][1])
+            )
+            arrays["mem/nodes"] = changed.astype(np.int64)
+            arrays["mem/data"] = data[changed]
+            arrays["mem/time"] = times[changed]
+        if self.g.mailbox is not None and "mailbox" in snap:
+            mb = self.g.mailbox
+            n = mb.num_nodes
+            changed = np.flatnonzero(
+                (mb.mail.data.reshape(n, -1) != snap["mailbox"][0].reshape(n, -1)).any(axis=1)
+                | (mb.time.reshape(n, -1) != snap["mailbox"][1].reshape(n, -1)).any(axis=1)
+            )
+            arrays["mail/nodes"] = changed.astype(np.int64)
+            arrays["mail/mail"] = mb.mail.data[changed]
+            arrays["mail/time"] = mb.time[changed]
+            if mb._next_slot is not None:
+                arrays["mail/cursor"] = mb._next_slot
+        return arrays
+
+    def _apply_delta(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`_build_delta`: write one delta in place."""
+        model_state = {
+            key[len("model/"):]: value
+            for key, value in arrays.items()
+            if key.startswith("model/")
+        }
+        if model_state:
+            self.model.load_state_dict(model_state)
+        _restore_optimizer(
+            self.optimizer,
+            {
+                key[len("optim/"):]: value
+                for key, value in arrays.items()
+                if key.startswith("optim/")
+            },
+        )
+        for name, gen in self._generators().items():
+            key = "rng/" + name
+            if key in arrays:
+                _restore_generator(gen, arrays[key])
+        if self.g.mem is not None and "mem/nodes" in arrays:
+            idx = arrays["mem/nodes"]
+            self.g.mem.data.data[idx] = arrays["mem/data"]
+            self.g.mem.time[idx] = arrays["mem/time"]
+        if self.g.mailbox is not None and "mail/nodes" in arrays:
+            mb = self.g.mailbox
+            idx = arrays["mail/nodes"]
+            mb.mail.data[idx] = arrays["mail/mail"]
+            mb.time[idx] = arrays["mail/time"]
+            if mb._next_slot is not None and "mail/cursor" in arrays:
+                mb._next_slot[...] = arrays["mail/cursor"]
+        _mark_time_encoders_updated(self.model)
+
+    def _replay_deltas(self, epoch: int, b: int, n_batches: int) -> Tuple[int, int, int]:
+        """Fast-forward from the checkpoint cursor through logged deltas.
+
+        Walks the committed log suffix: ``checkpoint`` markers discard
+        deltas already folded into the on-disk checkpoint, ``rollback``
+        markers discard deltas from abandoned timelines.  The surviving
+        deltas are applied only while they form a contiguous run starting
+        at the checkpoint cursor — a hole (lost fsync, torn tail) stops
+        the fast-forward and the rest is recomputed.  The final batch of
+        an epoch is always recomputed rather than replayed (the eval +
+        epoch-rollover bookkeeping belongs to the live loop); either way
+        the trajectory is bit-exact.
+        """
+        pending = []
+        for rec in self.store.recover().records:
+            if rec.kind == KIND_MARKER:
+                name = rec.meta.get("name")
+                if name == "checkpoint":
+                    pending = []
+                elif name == "rollback":
+                    target = (int(rec.meta["epoch"]), int(rec.meta["batch"]))
+                    pending = [
+                        d for d in pending
+                        if (int(d.meta["epoch"]), int(d.meta["batch"])) < target
+                    ]
+            elif rec.kind == KIND_DELTA:
+                pending.append(rec)
+        replayed = 0
+        for rec in pending:
+            pos = (int(rec.meta["epoch"]), int(rec.meta["batch"]))
+            if pos < (epoch, b):
+                continue  # already inside the checkpoint
+            if pos != (epoch, b) or b >= n_batches - 1:
+                break
+            self._apply_delta(rec.arrays)
+            b += 1
+            replayed += 1
+        return epoch, b, replayed
+
     def _clear_derived_caches(self) -> None:
         """Drop inference-only embed caches (derived state, never
         checkpointed) so corrupt or stale entries cannot survive."""
@@ -270,6 +411,14 @@ class ResilientTrainer:
                 ResilienceEvent("checkpoint-aborted", epoch, batch, str(exc))
             )
             return "checkpoint-aborted"
+        if self.store is not None:
+            # Deltas below this marker are folded into the checkpoint:
+            # replay ignores them and sealed log segments compact away.
+            lsn = self.store.log_marker(
+                "checkpoint", {"epoch": epoch, "batch": batch}
+            )
+            self.store.sync()
+            self.store.compacted_segments += self.store.wal.compact_below(lsn)
         result.events.append(ResilienceEvent("checkpoint", epoch, batch))
         return "checkpoint"
 
@@ -291,6 +440,10 @@ class ResilientTrainer:
             raise ValueError(
                 f"checkpoint {self.checkpoint_path!r} carries no stream "
                 "cursor; cannot roll back"
+            )
+        if self.store is not None:
+            self.store.log_marker(
+                "rollback", {"epoch": int(target[0]), "batch": int(target[1])}
             )
         result.events.append(
             ResilienceEvent(
@@ -352,13 +505,17 @@ class ResilientTrainer:
         return loss_value
 
     def _attempt_batch(self, result: ResilientResult, epoch: int, b: int,
-                       train_end: int) -> float:
-        """Run one batch with snapshot-restore retries on transient faults."""
+                       train_end: int) -> Tuple[float, dict]:
+        """Run one batch with snapshot-restore retries on transient faults.
+
+        Returns ``(loss, snap)`` — the pre-batch snapshot doubles as the
+        diff base for the incremental delta log.
+        """
         snap = self._snapshot()
         ctx = getattr(self.g, "ctx", None)
         for attempt in range(self.max_retries + 1):
             try:
-                return self._run_batch(result, epoch, b, train_end)
+                return self._run_batch(result, epoch, b, train_end), snap
             except TransientKernelError as exc:
                 self._restore_snapshot(snap)
                 if ctx is not None and ctx.record_kernel_fault(exc.site):
@@ -447,9 +604,12 @@ class ResilientTrainer:
                 )
             epoch, b = meta["stream"]
             restored = True
-            result.events.append(
-                ResilienceEvent("resume", epoch, b, f"resumed from {self.checkpoint_path}")
-            )
+            detail = f"resumed from {self.checkpoint_path}"
+            if self.store is not None:
+                epoch, b, replayed = self._replay_deltas(epoch, b, n_batches)
+                if replayed:
+                    detail += f" + {replayed} logged deltas"
+            result.events.append(ResilienceEvent("resume", epoch, b, detail))
 
         own_injector = self.injector is not None and hooks.active() is not self.injector
         if own_injector:
@@ -482,7 +642,13 @@ class ResilientTrainer:
                         continue
                 t0 = time.perf_counter()
                 try:
-                    epoch_losses[b] = self._attempt_batch(result, epoch, b, train_end)
+                    loss_value, snap = self._attempt_batch(result, epoch, b, train_end)
+                    epoch_losses[b] = loss_value
+                    if self.store is not None:
+                        self.store.log_delta(
+                            self._build_delta(snap),
+                            {"epoch": epoch, "batch": b, "loss": loss_value},
+                        )
                 except DivergenceError as exc:
                     key = (epoch, b)
                     rollback_streak[key] = rollback_streak.get(key, 0) + 1
@@ -511,6 +677,13 @@ class ResilientTrainer:
                     epoch += 1
                     b = 0
         finally:
+            if self.store is not None:
+                self.store.sync()
             if own_injector:
                 hooks.uninstall(self.injector)
         return result
+
+    def close(self) -> None:
+        """Close the delta-log store (no-op without one)."""
+        if self.store is not None:
+            self.store.close()

@@ -1,0 +1,140 @@
+"""Binary codec for durable-log records.
+
+A record payload is a ``(kind, meta, arrays)`` triple — a small integer
+record kind, a JSON-able metadata dict, and a named dict of numpy arrays
+— serialized to a self-describing byte string.  The encoding is
+deliberately boring: little-endian length-prefixed fields, no
+compression, no pickling (a corrupted pickle can execute code; a
+corrupted array blob just fails its CRC).
+
+Layout::
+
+    u8   kind
+    u32  len(meta_json)      meta_json (utf-8)
+    u16  n_arrays
+    per array:
+        u16  len(name)       name (utf-8)
+        u16  len(dtype_str)  dtype_str (numpy ``dtype.str``, e.g. '<f4')
+        u8   ndim            ndim x u64 shape
+        u64  len(raw)        raw bytes (C-contiguous)
+
+Integrity is the framing layer's job (per-record CRC32 in the WAL,
+whole-file CRC in snapshots); the codec only has to fail *cleanly* on
+garbage, which the length-prefixed layout guarantees — every decode
+checks bounds before slicing and raises :class:`CodecError`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CodecError",
+    "KIND_BATCH",
+    "KIND_ABORT",
+    "KIND_MARKER",
+    "KIND_DELTA",
+    "KIND_SNAPSHOT",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: record kinds (u8); the WAL/stores attach semantics, the codec does not.
+KIND_BATCH = 1  #: a committed EventBatch delta (serve path)
+KIND_ABORT = 2  #: a logged batch was rolled back; replay must skip it
+KIND_MARKER = 3  #: control marker (checkpoint / rollback / custom)
+KIND_DELTA = 4  #: incremental training-state delta between checkpoints
+KIND_SNAPSHOT = 5  #: full state image (snapshot files only)
+
+
+class CodecError(ValueError):
+    """Payload bytes do not decode to a well-formed record."""
+
+
+def encode_payload(kind: int, meta: Dict, arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialize ``(kind, meta, arrays)`` to bytes (see module layout)."""
+    if not 0 <= int(kind) <= 0xFF:
+        raise ValueError(f"record kind must fit a u8, got {kind}")
+    meta_json = json.dumps(meta or {}, sort_keys=True).encode()
+    parts = [struct.pack("<BI", int(kind), len(meta_json)), meta_json,
+             struct.pack("<H", len(arrays))]
+    for name in sorted(arrays):
+        value = np.asarray(arrays[name])
+        if not value.flags["C_CONTIGUOUS"]:
+            # (ascontiguousarray unconditionally promotes 0-d to 1-d,
+            # so only call it when actually needed)
+            value = np.ascontiguousarray(value)
+        name_b = name.encode()
+        dtype_b = value.dtype.str.encode()
+        raw = value.tobytes()
+        parts.append(struct.pack("<H", len(name_b)))
+        parts.append(name_b)
+        parts.append(struct.pack("<H", len(dtype_b)))
+        parts.append(dtype_b)
+        parts.append(struct.pack("<B", value.ndim))
+        parts.append(struct.pack(f"<{value.ndim}Q", *value.shape))
+        parts.append(struct.pack("<Q", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+class _Reader:
+    """Bounds-checked cursor over a payload buffer."""
+
+    def __init__(self, buf: bytes):
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.buf):
+            raise CodecError(
+                f"truncated payload: need {n} bytes at offset {self.pos}, "
+                f"have {len(self.buf) - self.pos}"
+            )
+        out = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def unpack(self, fmt: str):
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+
+def decode_payload(buf: bytes) -> Tuple[int, Dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_payload`; raises :class:`CodecError` on junk."""
+    r = _Reader(bytes(buf))
+    kind, meta_len = r.unpack("<BI")
+    try:
+        meta = json.loads(r.take(meta_len).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"payload metadata is not valid JSON ({exc})") from exc
+    (n_arrays,) = r.unpack("<H")
+    arrays: Dict[str, np.ndarray] = {}
+    for _ in range(n_arrays):
+        (name_len,) = r.unpack("<H")
+        name = r.take(name_len).decode()
+        (dtype_len,) = r.unpack("<H")
+        dtype_str = r.take(dtype_len).decode()
+        try:
+            dtype = np.dtype(dtype_str)
+        except TypeError as exc:
+            raise CodecError(f"bad dtype {dtype_str!r} for array {name!r}") from exc
+        (ndim,) = r.unpack("<B")
+        shape = r.unpack(f"<{ndim}Q")
+        (nbytes,) = r.unpack("<Q")
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if ndim else dtype.itemsize
+        if ndim == 0:
+            expected = dtype.itemsize
+        if nbytes != expected:
+            raise CodecError(
+                f"array {name!r}: {nbytes} raw bytes inconsistent with "
+                f"shape {shape} of {dtype_str}"
+            )
+        raw = r.take(nbytes)
+        arrays[name] = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    if r.pos != len(r.buf):
+        raise CodecError(f"{len(r.buf) - r.pos} trailing bytes after payload")
+    return kind, meta, arrays

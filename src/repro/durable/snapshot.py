@@ -1,0 +1,138 @@
+"""Atomic, CRC-verified state snapshots anchoring log compaction.
+
+A snapshot is a full image of the durable state at a known log position:
+``state(snapshot at lsn L) + replay(records with lsn > L)`` must equal
+``replay(all records)``.  Once a snapshot is durable, every sealed log
+segment below its LSN is garbage and can be compacted away.
+
+File format (``snap-<lsn>.snap``)::
+
+    12 bytes  magic "TGLITESNP001"
+    u32       version
+    u64       lsn
+    u32       crc32(payload)
+    u64       len(payload)
+    ...       payload (codec-encoded KIND_SNAPSHOT record)
+
+Writes are atomic: staged at ``path + ".tmp"``, fsynced, renamed into
+place, and the directory is fsynced so the rename itself survives a
+crash.  :func:`load_latest` walks snapshots newest-first and returns the
+first one that passes its CRC — a torn or bit-flipped newest snapshot
+falls back to the previous one instead of poisoning recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .codec import KIND_SNAPSHOT, CodecError, decode_payload, encode_payload
+from .wal import fsync_dir
+
+__all__ = ["write_snapshot", "load_latest", "list_snapshots", "prune_snapshots"]
+
+_MAGIC = b"TGLITESNP001"
+_VERSION = 1
+_HEAD = struct.Struct("<12sIQIQ")  # magic, version, lsn, crc, payload length
+_SNAP_RE = re.compile(r"^snap-(\d{12})\.snap$")
+
+
+def _snap_path(directory: str, lsn: int) -> str:
+    return os.path.join(directory, f"snap-{lsn:012d}.snap")
+
+
+def write_snapshot(
+    directory: str,
+    lsn: int,
+    meta: Dict,
+    arrays: Dict[str, np.ndarray],
+) -> str:
+    """Atomically persist a snapshot of *arrays* taken at log position *lsn*."""
+    os.makedirs(directory, exist_ok=True)
+    payload = encode_payload(KIND_SNAPSHOT, meta, arrays)
+    head = _HEAD.pack(
+        _MAGIC, _VERSION, int(lsn), zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+    path = _snap_path(directory, lsn)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(head)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_dir(directory)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+    return path
+
+
+def _read_snapshot(path: str) -> Optional[Tuple[int, Dict, Dict[str, np.ndarray]]]:
+    """Decode one snapshot file; None when torn/corrupt (any reason)."""
+    try:
+        with open(path, "rb") as fh:
+            buf = fh.read()
+    except OSError:
+        return None
+    if len(buf) < _HEAD.size:
+        return None
+    magic, version, lsn, crc, length = _HEAD.unpack_from(buf)
+    if magic != _MAGIC or version != _VERSION:
+        return None
+    payload = buf[_HEAD.size : _HEAD.size + length]
+    if len(payload) != length or zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        kind, meta, arrays = decode_payload(payload)
+    except CodecError:
+        return None
+    if kind != KIND_SNAPSHOT:
+        return None
+    return int(lsn), meta, arrays
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """All snapshot files as ``(lsn, path)``, oldest first."""
+    if not os.path.isdir(directory):
+        return []
+    out = []
+    for name in os.listdir(directory):
+        m = _SNAP_RE.match(name)
+        if m:
+            out.append((int(m.group(1)), os.path.join(directory, name)))
+    return sorted(out)
+
+
+def load_latest(directory: str) -> Optional[Tuple[int, Dict, Dict[str, np.ndarray]]]:
+    """Newest snapshot that passes integrity checks, or None.
+
+    Corrupt snapshots are skipped (recovery falls back to an older one
+    plus a longer log replay), never partially loaded.
+    """
+    for lsn, path in reversed(list_snapshots(directory)):
+        loaded = _read_snapshot(path)
+        if loaded is not None:
+            return loaded
+    return None
+
+
+def prune_snapshots(directory: str, keep: int = 2) -> int:
+    """Delete all but the newest *keep* snapshots; returns removals."""
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    snaps = list_snapshots(directory)
+    removed = 0
+    for _, path in snaps[:-keep]:
+        os.remove(path)
+        removed += 1
+    if removed:
+        fsync_dir(directory)
+    return removed

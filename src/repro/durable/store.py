@@ -1,0 +1,200 @@
+"""Crash-consistent durable state store: WAL-then-apply + snapshot replay.
+
+:class:`DurableStateStore` composes the :class:`~repro.durable.wal.WriteAheadLog`
+and the snapshot files into the commit protocol both runtimes share:
+
+1. **log** the state delta (a committed :class:`EventBatch`, a training
+   delta, or a control marker) *before* applying it in RAM;
+2. if the apply is subsequently rolled back (post-apply validation
+   failed), **log an abort** so recovery skips the record;
+3. periodically write a **snapshot** of the full applied state and
+   **compact** sealed log segments below it.
+
+Recovery (:meth:`recover`) is prefix-consistent and idempotent: load the
+newest intact snapshot, then replay the committed log suffix — stopping
+at the first torn/corrupt record — with aborted records filtered out.
+Re-opening the store after a crash physically truncates the torn tail
+(see :mod:`repro.durable.wal`), so two recoveries of the same directory
+yield bit-identical state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .codec import (
+    KIND_ABORT,
+    KIND_BATCH,
+    KIND_DELTA,
+    KIND_MARKER,
+    CodecError,
+    decode_payload,
+    encode_payload,
+)
+from .snapshot import load_latest, prune_snapshots, write_snapshot
+from .wal import WriteAheadLog
+
+__all__ = ["DurableRecord", "RecoveredState", "DurableStateStore"]
+
+
+@dataclass(frozen=True)
+class DurableRecord:
+    """One decoded, non-aborted record of the committed log suffix."""
+
+    lsn: int
+    kind: int
+    meta: Dict
+    arrays: Dict[str, np.ndarray]
+
+
+@dataclass
+class RecoveredState:
+    """Everything :meth:`DurableStateStore.recover` reconstructs."""
+
+    #: log position of the loaded snapshot (0 = no snapshot, clean start).
+    snapshot_lsn: int = 0
+    snapshot_meta: Dict = field(default_factory=dict)
+    snapshot_arrays: Optional[Dict[str, np.ndarray]] = None
+    #: committed, non-aborted records with ``lsn > snapshot_lsn``, in order.
+    records: List[DurableRecord] = field(default_factory=list)
+    #: records dropped because a later abort record named them.
+    aborted: int = 0
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1].lsn if self.records else self.snapshot_lsn
+
+
+class DurableStateStore:
+    """Write-ahead-logged durable state with snapshot + replay recovery.
+
+    Args:
+        directory: home of WAL segments and snapshot files.
+        fsync: WAL durability policy (``'always'`` / ``'batch'`` /
+            ``'never'``); ``'batch'`` group-commits every
+            ``fsync_interval`` records.
+        fsync_interval: appends per group-commit sync.
+        segment_bytes: WAL segment rotation threshold.
+        snapshots_keep: snapshots retained after each :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "batch",
+        fsync_interval: int = 32,
+        segment_bytes: int = 1 << 20,
+        snapshots_keep: int = 2,
+    ):
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.snapshots_keep = int(snapshots_keep)
+        self.wal = WriteAheadLog(
+            self.directory,
+            segment_bytes=segment_bytes,
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+        )
+        self.snapshots_written = 0
+        self.compacted_segments = 0
+
+    # ---- logging -----------------------------------------------------------------
+
+    def log_batch(self, arrays: Dict[str, np.ndarray], meta: Optional[Dict] = None) -> int:
+        """Log one committed-state delta (WAL-then-apply); returns its LSN."""
+        return self.wal.append(encode_payload(KIND_BATCH, meta or {}, arrays))
+
+    def log_delta(self, arrays: Dict[str, np.ndarray], meta: Optional[Dict] = None) -> int:
+        """Log one incremental training-state delta; returns its LSN."""
+        return self.wal.append(encode_payload(KIND_DELTA, meta or {}, arrays))
+
+    def log_abort(self, target_lsn: int, reason: str = "") -> int:
+        """Mark a previously logged record as rolled back."""
+        return self.wal.append(
+            encode_payload(
+                KIND_ABORT, {"target": int(target_lsn), "reason": reason}, {}
+            )
+        )
+
+    def log_marker(self, name: str, meta: Optional[Dict] = None) -> int:
+        """Log a control marker (e.g. ``checkpoint`` / ``rollback``)."""
+        payload = dict(meta or {})
+        payload["name"] = name
+        return self.wal.append(encode_payload(KIND_MARKER, payload, {}))
+
+    def sync(self) -> None:
+        """Force group-committed records durable now."""
+        self.wal.sync()
+
+    # ---- snapshot + compaction ---------------------------------------------------
+
+    def snapshot(self, arrays: Dict[str, np.ndarray], meta: Optional[Dict] = None) -> str:
+        """Snapshot the *applied* state at the current log position, then
+        compact sealed segments the snapshot makes redundant."""
+        self.wal.sync()
+        lsn = self.wal.last_lsn
+        path = write_snapshot(self.directory, lsn, meta or {}, arrays)
+        prune_snapshots(self.directory, keep=self.snapshots_keep)
+        self.compacted_segments += self.wal.compact_below(lsn + 1)
+        self.snapshots_written += 1
+        return path
+
+    # ---- recovery ----------------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Reconstruct the committed durable state (prefix-consistent).
+
+        Pure read: loads the newest intact snapshot, replays the
+        committed log suffix above it, and filters aborted records.
+        Calling it twice returns identical results.
+        """
+        out = RecoveredState()
+        snap = load_latest(self.directory)
+        if snap is not None:
+            out.snapshot_lsn, out.snapshot_meta, out.snapshot_arrays = snap
+        raw: List[DurableRecord] = []
+        aborted: set = set()
+        for lsn, payload in self.wal.replay():
+            if lsn <= out.snapshot_lsn:
+                continue  # already folded into the snapshot
+            try:
+                kind, meta, arrays = decode_payload(payload)
+            except CodecError:
+                break  # defensive: treat as the start of the torn tail
+            if kind == KIND_ABORT:
+                aborted.add(int(meta.get("target", -1)))
+                continue
+            raw.append(DurableRecord(lsn, kind, meta, arrays))
+        out.records = [r for r in raw if r.lsn not in aborted]
+        out.aborted = len(raw) - len(out.records)
+        return out
+
+    # ---- reporting / lifecycle ---------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        flat = {f"wal:{k}": v for k, v in self.wal.stats.as_dict().items()}
+        flat["wal:segments"] = self.wal.num_segments
+        flat["wal:size_bytes"] = self.wal.size_bytes()
+        flat["wal:last_lsn"] = self.wal.last_lsn
+        flat["snapshots_written"] = self.snapshots_written
+        flat["compacted_segments"] = self.compacted_segments
+        return flat
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableStateStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableStateStore({self.directory!r}, last_lsn={self.wal.last_lsn}, "
+            f"segments={self.wal.num_segments})"
+        )

@@ -22,19 +22,24 @@ retry/rollback/resume.
 from .errors import (
     CheckpointWriteAborted,
     DivergenceError,
+    SimulatedDiskCrash,
     SimulatedProcessKill,
     StateValidationError,
     TransientKernelError,
 )
-from .faults import FaultEvent, FaultInjector
+from .faults import DECISIONS, FaultEvent, FaultInjector
+from .hooks import SITES
 from .validate import assert_valid_state, validate_state
 
 __all__ = [
     "CheckpointWriteAborted",
     "DivergenceError",
+    "SimulatedDiskCrash",
     "SimulatedProcessKill",
     "StateValidationError",
     "TransientKernelError",
+    "DECISIONS",
+    "SITES",
     "FaultEvent",
     "FaultInjector",
     "assert_valid_state",

@@ -24,6 +24,7 @@ __all__ = [
     "StateValidationError",
     "CheckpointWriteAborted",
     "SimulatedProcessKill",
+    "SimulatedDiskCrash",
 ]
 
 
@@ -78,3 +79,20 @@ class SimulatedProcessKill(BaseException):
         super().__init__(message)
         self.epoch = epoch
         self.batch = batch
+
+
+class SimulatedDiskCrash(BaseException):
+    """Simulated process crash in the middle of a durable-log disk write.
+
+    Raised by the write-ahead log when the ``disk.write`` / ``disk.fsync``
+    injection sites decide this write is torn (only a byte prefix reaches
+    the file) or this fsync is lost (buffered bytes are dropped).  Derives
+    from ``BaseException`` for the same reason as
+    :class:`SimulatedProcessKill`: a real ``kill -9`` mid-write cannot be
+    caught in-process; recovery happens by re-opening the store.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None, offset: Optional[int] = None):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset

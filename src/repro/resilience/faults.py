@@ -40,7 +40,32 @@ import numpy as np
 from . import hooks
 from .errors import CheckpointWriteAborted, SimulatedProcessKill, TransientKernelError
 
-__all__ = ["FaultEvent", "FaultInjector"]
+__all__ = ["DECISIONS", "FaultEvent", "FaultInjector"]
+
+#: Every fault decision the injector can make, mapped to the
+#: :data:`repro.resilience.hooks.SITES` entry it fires at.  A site like
+#: ``disk.write`` multiplexes several corruption kinds, so decisions are
+#: the finer-grained vocabulary; configuration (constructor kwargs plus
+#: the generic ``rates=``/``schedules=`` dicts) is validated against this
+#: map at construction time.
+DECISIONS: Dict[str, str] = {
+    "kernel.sample": "kernel.sample",
+    "kernel.cache": "kernel.cache",
+    "cache.corrupt": "cache.corrupt",
+    "nan_grad": "optim.step",
+    "worker.crash": "worker.crash",
+    "worker.straggler": "worker.straggler",
+    "checkpoint.kill": "checkpoint.kill",
+    "process.kill": "trainer.batch",
+    "serve.ingest": "serve.ingest",
+    "serve.commit": "serve.commit",
+    "serve.poison": "serve.poison",
+    "disk.write.torn": "disk.write",
+    "disk.write.flip": "disk.write",
+    "disk.write.dup": "disk.write",
+    "disk.fsync.lost": "disk.fsync",
+    "disk.read.flip": "disk.read",
+}
 
 _MASK64 = (1 << 64) - 1
 
@@ -119,6 +144,27 @@ class FaultInjector:
             payload is silently corrupted with NaN (site ``serve.poison``;
             caught by post-commit validation, which rolls back and
             quarantines the batch).
+        disk_torn_write_batches: positions at which a write-ahead-log
+            record append is torn — only a deterministic byte prefix
+            reaches the file before a :class:`SimulatedDiskCrash`
+            (site ``disk.write``).
+        disk_torn_write_rate: per-position probability of a torn write.
+        disk_flip_write_batches: positions at which one bit of an
+            appended WAL record is silently flipped on the way to disk
+            (no crash; caught by per-record CRC on replay).
+        disk_dup_write_batches: positions at which an appended WAL record
+            is written twice (duplicated tail; replay must deduplicate).
+        disk_lost_fsync_batches: positions at which a WAL fsync is lost:
+            bytes buffered since the last durable fsync are dropped and a
+            :class:`SimulatedDiskCrash` follows (site ``disk.fsync``).
+        disk_flip_read_batches: positions at which one bit of a WAL
+            record is flipped while *reading* it back (site ``disk.read``;
+            models media corruption discovered at recovery).
+        disk_flip_read_rate: per-position probability of a read flip.
+        rates: extra ``{decision name: probability}`` entries (see
+            :data:`DECISIONS`); unknown names raise ``ValueError``.
+        schedules: extra ``{decision name: positions}`` entries; unknown
+            names raise ``ValueError``.
         transient: if True (default), each fault fires at most once per
             position so retries/replays succeed; if False, faults fire on
             every encounter (for testing retry exhaustion).
@@ -145,6 +191,15 @@ class FaultInjector:
         serve_commit_fault_rate: float = 0.0,
         serve_commit_fault_batches: Iterable[Tuple[int, int]] = (),
         serve_poison_batches: Iterable[Tuple[int, int]] = (),
+        disk_torn_write_batches: Iterable[Tuple[int, int]] = (),
+        disk_torn_write_rate: float = 0.0,
+        disk_flip_write_batches: Iterable[Tuple[int, int]] = (),
+        disk_dup_write_batches: Iterable[Tuple[int, int]] = (),
+        disk_lost_fsync_batches: Iterable[Tuple[int, int]] = (),
+        disk_flip_read_batches: Iterable[Tuple[int, int]] = (),
+        disk_flip_read_rate: float = 0.0,
+        rates: Optional[Dict[str, float]] = None,
+        schedules: Optional[Dict[str, Iterable[Tuple[int, ...]]]] = None,
         transient: bool = True,
     ):
         self.seed = int(seed)
@@ -156,6 +211,8 @@ class FaultInjector:
             "worker.straggler": float(straggler_rate),
             "serve.ingest": float(serve_ingest_fault_rate),
             "serve.commit": float(serve_commit_fault_rate),
+            "disk.write.torn": float(disk_torn_write_rate),
+            "disk.read.flip": float(disk_flip_read_rate),
         }
         self.schedules: Dict[str, Set[Tuple[int, ...]]] = {
             "kernel.sample": {tuple(p) for p in kernel_fault_batches},
@@ -167,7 +224,22 @@ class FaultInjector:
             "serve.ingest": {tuple(p) for p in serve_ingest_fault_batches},
             "serve.commit": {tuple(p) for p in serve_commit_fault_batches},
             "serve.poison": {tuple(p) for p in serve_poison_batches},
+            "disk.write.torn": {tuple(p) for p in disk_torn_write_batches},
+            "disk.write.flip": {tuple(p) for p in disk_flip_write_batches},
+            "disk.write.dup": {tuple(p) for p in disk_dup_write_batches},
+            "disk.fsync.lost": {tuple(p) for p in disk_lost_fsync_batches},
+            "disk.read.flip": {tuple(p) for p in disk_flip_read_batches},
         }
+        for name, rate in (rates or {}).items():
+            self._check_decision(name)
+            self.rates[name] = float(rate)
+        for name, positions in (schedules or {}).items():
+            self._check_decision(name)
+            self.schedules.setdefault(name, set()).update(
+                tuple(p) for p in positions
+            )
+        for name in list(self.rates) + list(self.schedules):
+            self._check_decision(name)
         self.straggler_factor = float(straggler_factor)
         self.process_kill_at = tuple(process_kill_at) if process_kill_at else None
         self.transient = transient
@@ -190,6 +262,22 @@ class FaultInjector:
         """Move the stream cursor (called by the trainer at each batch)."""
         self.epoch = int(epoch)
         self.batch = int(batch)
+
+    @staticmethod
+    def _check_decision(name: str) -> None:
+        """Reject configuration naming an unknown fault decision/site."""
+        if name not in DECISIONS:
+            known = ", ".join(sorted(DECISIONS))
+            raise ValueError(
+                f"unknown fault decision {name!r}: it maps to no injection "
+                f"site and would silently never fire (known: {known})"
+            )
+        site = DECISIONS[name]
+        if site not in hooks.SITES:
+            raise ValueError(
+                f"fault decision {name!r} maps to site {site!r} which is "
+                "missing from repro.resilience.hooks.SITES (registry drift)"
+            )
 
     # ---- decisions --------------------------------------------------------------
 
@@ -258,6 +346,19 @@ class FaultInjector:
                 # Corrupt a full column so the poison survives any
                 # last-event-wins coalescing of duplicate rows.
                 values[..., 0] = np.nan
+        elif site == "disk.write":
+            return self._disk_write_directive(
+                int(info.get("size", 0)), str(info.get("path", ""))
+            )
+        elif site == "disk.fsync":
+            if self._fires("disk.fsync.lost", detail=str(info.get("path", ""))):
+                return ("lost",)
+        elif site == "disk.read":
+            size = int(info.get("size", 0))
+            if size > 0 and self._fires(
+                "disk.read.flip", detail=str(info.get("path", ""))
+            ):
+                return ("flip",) + self._flip_position("disk.read.flip", size)
         elif site == "optim.step":
             optimizer = info.get("optimizer")
             if optimizer is not None and self._fires("nan_grad"):
@@ -283,6 +384,33 @@ class FaultInjector:
         return None
 
     # ---- fault effects ----------------------------------------------------------
+
+    def _flip_position(self, decision: str, size: int) -> Tuple[int, int]:
+        """Deterministic (byte index, bit index) for a one-bit flip."""
+        u = _hash_decision(self.seed, decision + "#byte", self.epoch, self.batch, 1)
+        v = _hash_decision(self.seed, decision + "#bit", self.epoch, self.batch, 2)
+        return min(int(u * size), size - 1), min(int(v * 8), 7)
+
+    def _disk_write_directive(self, size: int, path: str):
+        """Decide how (whether) to corrupt one WAL record append.
+
+        Returns ``None`` (write cleanly), ``("torn", nbytes)`` (write only
+        a prefix then crash), ``("flip", byte, bit)`` (silent one-bit
+        corruption), or ``("dup",)`` (write the record twice).
+        """
+        if size <= 0:
+            return None
+        if self._fires("disk.write.torn", detail=path):
+            u = _hash_decision(
+                self.seed, "disk.write.torn#offset", self.epoch, self.batch, 1
+            )
+            # Always lose at least the final byte, or the write isn't torn.
+            return ("torn", min(int(u * size), size - 1))
+        if self._fires("disk.write.flip", detail=path):
+            return ("flip",) + self._flip_position("disk.write.flip", size)
+        if self._fires("disk.write.dup", detail=path):
+            return ("dup",)
+        return None
 
     @staticmethod
     def _corrupt_cache(cache) -> None:

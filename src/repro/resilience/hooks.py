@@ -7,7 +7,9 @@ any ``repro`` imports lets low-level packages (``repro.core.kernels``,
 ``repro.nn.optim``, ``repro.distributed``) reference it without creating
 an import cycle with the resilience subsystem built on top of them.
 
-Sites currently poked by production code:
+Sites currently poked by production code are listed in :data:`SITES`
+(the authoritative registry — ``FaultInjector`` validates its configured
+site names against it at construction time):
 
 ===================  ==========================================  =========
 site                 where                                       returns
@@ -23,17 +25,42 @@ site                 where                                       returns
 ``serve.ingest``     ``serve.ingest.IngestPipeline.push``        ``None``
 ``serve.commit``     ``serve.commit.StateCommitter.commit``      ``None``
 ``serve.poison``     ``serve.commit`` payload staging            ``None``
+``disk.write``       ``durable.wal`` record append               directive
+``disk.fsync``       ``durable.wal`` fsync                       directive
+``disk.read``        ``durable.wal`` record replay               directive
 ===================  ==========================================  =========
 
-A site either returns a value (crash/straggler queries) or raises one of
-the :mod:`repro.resilience.errors` exceptions to simulate the fault.
+A site either returns a value (crash/straggler queries, disk-corruption
+directives interpreted by the write-ahead log) or raises one of the
+:mod:`repro.resilience.errors` exceptions to simulate the fault.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
-__all__ = ["install", "uninstall", "active", "poke"]
+__all__ = ["SITES", "install", "uninstall", "active", "poke"]
+
+#: Authoritative registry of injection sites compiled into production
+#: code, mapping site name -> where it is poked.  ``FaultInjector``
+#: rejects configuration naming a site absent from this registry, so a
+#: misspelled site fails loudly instead of silently never firing.
+SITES: Dict[str, str] = {
+    "kernel.sample": "core.kernels.sample.temporal_sample",
+    "kernel.cache": "core.kernels.cache.NodeTimeCache.lookup/store",
+    "cache.corrupt": "core.kernels.cache.NodeTimeCache.store (end)",
+    "optim.step": "nn.optim.SGD.step / Adam.step",
+    "worker.crash": "distributed.SimulatedDataParallel.train_step",
+    "worker.straggler": "distributed.SimulatedDataParallel.train_step",
+    "checkpoint.kill": "bench.checkpoint.save_checkpoint",
+    "trainer.batch": "bench.resilient.ResilientTrainer.train",
+    "serve.ingest": "serve.ingest.IngestPipeline.push",
+    "serve.commit": "serve.commit.StateCommitter.commit",
+    "serve.poison": "serve.commit.StateCommitter.commit (staging)",
+    "disk.write": "durable.wal.WriteAheadLog.append",
+    "disk.fsync": "durable.wal.WriteAheadLog.sync",
+    "disk.read": "durable.wal segment replay",
+}
 
 _ACTIVE: Optional[Any] = None
 

@@ -15,7 +15,9 @@ is the hardened streaming front end that restores them at runtime:
 * :mod:`~repro.serve.deadline` — per-request deadline budgets and the
   degradation ladder (full → reduced fanout → cache → memory-only);
 * :mod:`~repro.serve.commit` — watermarked all-or-nothing state commits
-  into ``Memory``/``Mailbox`` with snapshot-rollback;
+  into ``Memory``/``Mailbox`` with snapshot-rollback, optionally
+  write-ahead logged through :mod:`repro.durable` (WAL-then-apply with
+  prefix-consistent crash recovery via :func:`recover_serve_state`);
 * :mod:`~repro.serve.runtime` — :class:`ServeRuntime`, the loop gluing
   the above into request-in / prediction-out serving;
 * :mod:`~repro.serve.replay` — stream synthesis, poisoning, and the
@@ -30,7 +32,14 @@ stream — and every rejected event is accounted for in quarantine stats.
 
 from .admission import AdmissionController, AdmissionStats, TokenBucket
 from .clock import SimClock
-from .commit import CommitResult, CommitStats, StateCommitter
+from .commit import (
+    CommitResult,
+    CommitStats,
+    StateCommitter,
+    recover_serve_state,
+    serve_state_arrays,
+    stage_updates,
+)
 from .deadline import LEVELS, CostModel, DegradationLadder, LadderDecision
 from .events import EventBatch, RejectReason, validate_events
 from .ingest import IngestPipeline, IngestStats, QuarantinedEvent
@@ -45,6 +54,9 @@ __all__ = [
     "CommitResult",
     "CommitStats",
     "StateCommitter",
+    "stage_updates",
+    "serve_state_arrays",
+    "recover_serve_state",
     "CostModel",
     "DegradationLadder",
     "LadderDecision",

@@ -18,6 +18,19 @@ batch apply-all-or-nothing:
 Transient faults from the ``serve.commit`` injection site are retried
 after rollback; the committed watermark only advances past batches that
 were applied and validated.
+
+**Durability (WAL-then-apply).**  With a
+:class:`~repro.durable.store.DurableStateStore` attached, every released
+batch is logged to the write-ahead log *before* step 3 applies it, and a
+batch rolled back by validation gets an abort record.  A process killed
+at any byte offset therefore recovers — via
+:func:`recover_serve_state` — to a state bit-identical to a clean replay
+of the committed log prefix: a batch whose log record is durable but
+whose abort is not is simply re-committed cleanly (its content was
+valid; the rollback came from transient in-flight corruption), and a
+batch torn out of the log tail was never acknowledged.  Periodic
+snapshots (``snapshot_every``) bound recovery time and let the log
+compact.
 """
 
 from __future__ import annotations
@@ -27,11 +40,20 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..durable.codec import KIND_BATCH
 from ..resilience.errors import TransientKernelError
 from ..resilience.hooks import poke as _poke
 from .events import EventBatch
 
-__all__ = ["CommitResult", "CommitStats", "StateCommitter"]
+__all__ = [
+    "CommitResult",
+    "CommitStats",
+    "StateCommitter",
+    "stage_updates",
+    "serve_state_arrays",
+    "load_serve_state_arrays",
+    "recover_serve_state",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +97,25 @@ def _time_encode(ts: np.ndarray, dim: int) -> np.ndarray:
     return np.cos(ts[:, None] * freqs[None, :]).astype(np.float32)
 
 
+def stage_updates(batch: EventBatch, dim: int):
+    """Build ``(nodes, values, times)`` endpoint updates from *batch*.
+
+    Both endpoints of each event receive the event's value row at the
+    event's timestamp.  The value row is the payload when its width
+    matches the memory dim, else a sinusoidal time encoding — either way
+    purely content-derived, so live commits and durable-log replay stage
+    bit-identical rows from the same events.
+    """
+    nodes = np.concatenate([batch.src, batch.dst])
+    times = np.concatenate([batch.ts, batch.ts])
+    if batch.payload is not None and batch.payload.shape[1] == dim:
+        rows = batch.payload
+    else:
+        rows = _time_encode(batch.ts, dim)
+    values = np.concatenate([rows, rows])
+    return nodes, values, times
+
+
 class StateCommitter:
     """Apply released event batches to memory/mailbox atomically.
 
@@ -86,6 +127,13 @@ class StateCommitter:
             poisoned batch is rolled back (typically
             :meth:`IngestPipeline.quarantine_batch`, keeping the event
             ledger balanced).
+        store: optional :class:`~repro.durable.store.DurableStateStore`;
+            when set, every batch is WAL-logged *before* application and
+            validation rollbacks append abort records.
+        snapshot_every: with a store attached, write a full state
+            snapshot (and compact the log) after every this many
+            successfully applied batches; ``None`` disables periodic
+            snapshots.
     """
 
     def __init__(
@@ -94,11 +142,18 @@ class StateCommitter:
         mailbox=None,
         max_retries: int = 2,
         quarantine=None,
+        store=None,
+        snapshot_every: Optional[int] = None,
     ):
         self.memory = memory
         self.mailbox = mailbox
         self.max_retries = int(max_retries)
         self.quarantine = quarantine
+        self.store = store
+        self.snapshot_every = None if snapshot_every is None else int(snapshot_every)
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self._applied_since_snapshot = 0
         self.stats = CommitStats()
         #: greatest event timestamp durably applied and validated.
         self.committed_watermark = -np.inf
@@ -106,22 +161,7 @@ class StateCommitter:
     # ---- staging -----------------------------------------------------------------
 
     def _stage(self, batch: EventBatch):
-        """Build ``(nodes, values, times)`` endpoint updates from *batch*.
-
-        Both endpoints of each event receive the event's value row at the
-        event's timestamp.  The value row is the payload when its width
-        matches the memory dim, else a sinusoidal time encoding — either
-        way purely content-derived.
-        """
-        nodes = np.concatenate([batch.src, batch.dst])
-        times = np.concatenate([batch.ts, batch.ts])
-        dim = self.memory.dim
-        if batch.payload is not None and batch.payload.shape[1] == dim:
-            rows = batch.payload
-        else:
-            rows = _time_encode(batch.ts, dim)
-        values = np.concatenate([rows, rows])
-        return nodes, values, times
+        return stage_updates(batch, self.memory.dim)
 
     # ---- commit ------------------------------------------------------------------
 
@@ -153,6 +193,14 @@ class StateCommitter:
             return CommitResult(applied=True, events=0)
         self.stats.batches += 1
         batch_max = float(batch.ts.max())
+        # WAL-then-apply: the batch delta is durable before any store row
+        # changes.  Logged once — transient retries below re-apply the
+        # same logged record, they do not re-log it.
+        lsn = None
+        if self.store is not None:
+            lsn = self.store.log_batch(
+                batch.to_arrays(), {"watermark": batch_max}
+            )
         retries = 0
         while True:
             self._snapshot()
@@ -177,6 +225,8 @@ class StateCommitter:
                 self._rollback()
                 self.stats.rollbacks += 1
                 self.stats.events_rolled_back += len(batch)
+                if lsn is not None:
+                    self.store.log_abort(lsn, "; ".join(violations))
                 if self.quarantine is not None:
                     self.quarantine(batch, "; ".join(violations))
                 return CommitResult(
@@ -185,10 +235,94 @@ class StateCommitter:
                 )
             self.stats.events_applied += len(batch)
             self.committed_watermark = max(self.committed_watermark, batch_max)
+            if self.store is not None and self.snapshot_every is not None:
+                self._applied_since_snapshot += 1
+                if self._applied_since_snapshot >= self.snapshot_every:
+                    self.write_snapshot()
             return CommitResult(applied=True, events=len(batch), retries=retries)
+
+    def write_snapshot(self) -> Optional[str]:
+        """Persist the full applied state to the durable store now."""
+        if self.store is None:
+            return None
+        path = self.store.snapshot(
+            serve_state_arrays(self.memory, self.mailbox),
+            {"watermark": float(self.committed_watermark)},
+        )
+        self._applied_since_snapshot = 0
+        return path
 
     def __repr__(self) -> str:
         return (
             f"StateCommitter(watermark={self.committed_watermark:g}, "
             f"applied={self.stats.events_applied}, rollbacks={self.stats.rollbacks})"
         )
+
+
+# ---- durable serve-state image + recovery ------------------------------------------
+
+
+def serve_state_arrays(memory, mailbox=None) -> Dict[str, np.ndarray]:
+    """Full serve-state image as a flat array dict (snapshot payload)."""
+    arrays = {
+        "memory/data": memory.data.data,
+        "memory/time": memory.time,
+    }
+    if mailbox is not None:
+        arrays["mailbox/mail"] = mailbox.mail.data
+        arrays["mailbox/time"] = mailbox.time
+        if mailbox._next_slot is not None:
+            arrays["mailbox/cursor"] = mailbox._next_slot
+    return arrays
+
+
+def load_serve_state_arrays(arrays: Dict[str, np.ndarray], memory, mailbox=None) -> None:
+    """Inverse of :func:`serve_state_arrays`: write the image in place."""
+    memory.data.data[...] = arrays["memory/data"]
+    memory.time[...] = arrays["memory/time"]
+    if mailbox is not None and "mailbox/mail" in arrays:
+        mailbox.mail.data[...] = arrays["mailbox/mail"]
+        mailbox.time[...] = arrays["mailbox/time"]
+        if mailbox._next_slot is not None and "mailbox/cursor" in arrays:
+            mailbox._next_slot[...] = arrays["mailbox/cursor"]
+
+
+def recover_serve_state(store, memory, mailbox=None) -> Dict[str, object]:
+    """Rebuild memory/mailbox from a durable store after a crash.
+
+    Loads the newest intact snapshot (or resets the stores for a clean
+    start), then replays the committed, non-aborted ``KIND_BATCH`` suffix
+    through the same :func:`stage_updates` + ``Memory.update`` /
+    ``Mailbox.store`` path live commits use — so the recovered state is
+    bit-identical to a clean replay of the committed log prefix.
+    Idempotent: recovering the same directory twice yields the same
+    state.
+    """
+    state = store.recover()
+    if state.snapshot_arrays is not None:
+        load_serve_state_arrays(state.snapshot_arrays, memory, mailbox)
+    else:
+        memory.reset()
+        if mailbox is not None:
+            mailbox.reset()
+    watermark = float(state.snapshot_meta.get("watermark", -np.inf))
+    replayed = 0
+    for record in state.records:
+        if record.kind != KIND_BATCH:
+            continue
+        batch = EventBatch.from_arrays(record.arrays)
+        if not len(batch):
+            continue
+        nodes, values, times = stage_updates(batch, memory.dim)
+        memory.update(nodes, values, times)
+        if mailbox is not None:
+            mailbox.store(nodes, values, times)
+        watermark = max(watermark, float(record.meta.get("watermark", batch.ts.max())))
+        replayed += 1
+    return {
+        "batches_replayed": replayed,
+        "aborted_skipped": state.aborted,
+        "watermark": watermark,
+        "snapshot_lsn": state.snapshot_lsn,
+        "last_lsn": state.last_lsn,
+    }

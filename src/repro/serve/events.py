@@ -115,6 +115,24 @@ class EventBatch:
         order = np.lexsort((self.eids, self.ts))
         return self.take(order)
 
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat array dict for durable-log serialization (see ``from_arrays``)."""
+        arrays = {"eids": self.eids, "src": self.src, "dst": self.dst, "ts": self.ts}
+        if self.payload is not None:
+            arrays["payload"] = self.payload
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "EventBatch":
+        """Inverse of :meth:`to_arrays` (used by durable-log recovery)."""
+        return cls(
+            arrays["eids"],
+            arrays["src"],
+            arrays["dst"],
+            arrays["ts"],
+            arrays.get("payload"),
+        )
+
     @staticmethod
     def concat(batches: Sequence["EventBatch"]) -> "EventBatch":
         batches = [b for b in batches if len(b)]

@@ -35,7 +35,7 @@ import numpy as np
 from ..resilience.errors import TransientKernelError
 from .admission import AdmissionController
 from .clock import SimClock
-from .commit import StateCommitter
+from .commit import StateCommitter, recover_serve_state
 from .deadline import DegradationLadder
 from .events import EventBatch, RejectReason, validate_events
 from .ingest import IngestPipeline
@@ -88,6 +88,18 @@ class ServeRuntime:
         injector: optional :class:`~repro.resilience.FaultInjector` whose
             stream cursor the runtime advances to ``(0, request id)`` per
             step (it must also be installed, e.g. via ``with injector:``).
+        durable_dir: optional directory for a
+            :class:`~repro.durable.store.DurableStateStore`; when set,
+            every committed batch is write-ahead logged before it is
+            applied, so a crash at any byte offset recovers to the
+            committed prefix.
+        durable_fsync: WAL durability policy (``'always'`` / ``'batch'``
+            / ``'never'``).
+        snapshot_every: commits between full state snapshots (which also
+            compact the log); ``None`` disables periodic snapshots.
+        recover: replay ``durable_dir`` into memory/mailbox before
+            serving (resuming a crashed runtime); recovery details land
+            in :meth:`stats` under ``durable:recovered:*``.
     """
 
     def __init__(
@@ -107,6 +119,10 @@ class ServeRuntime:
         rate: Optional[float] = None,
         burst: Optional[float] = None,
         injector=None,
+        durable_dir: Optional[str] = None,
+        durable_fsync: str = "batch",
+        snapshot_every: Optional[int] = 256,
+        recover: bool = False,
     ):
         self.graph = graph
         self.ctx = ctx
@@ -124,9 +140,26 @@ class ServeRuntime:
             self.clock, max_queue=max_queue, policy=shed_policy,
             rate=rate, burst=burst,
         )
+        self.store = None
+        self._recovery: Dict[str, object] = {}
+        if durable_dir is not None:
+            from ..durable.store import DurableStateStore
+
+            self.store = DurableStateStore(durable_dir, fsync=durable_fsync)
+            if recover:
+                self._recovery = recover_serve_state(self.store, memory, mailbox)
         self.committer = StateCommitter(
-            memory, mailbox=mailbox, quarantine=self.ingest.quarantine_batch
+            memory,
+            mailbox=mailbox,
+            quarantine=self.ingest.quarantine_batch,
+            store=self.store,
+            snapshot_every=snapshot_every if self.store is not None else None,
         )
+        if self._recovery:
+            self.committer.committed_watermark = float(self._recovery["watermark"])
+            self.ingest.watermark = max(
+                self.ingest.watermark, self.committer.committed_watermark
+            )
         self.results: List[RequestResult] = []
         self._next_rid = 0
 
@@ -317,7 +350,22 @@ class ServeRuntime:
         out.update({f"ladder:{k}": v for k, v in sorted(self.ladder.decisions.items())})
         out["watermark"] = self.ingest.watermark
         out["committed_watermark"] = self.committer.committed_watermark
+        if self.store is not None:
+            out.update({f"durable:{k}": v for k, v in self.store.stats().items()})
+        for k, v in self._recovery.items():
+            out[f"durable:recovered:{k}"] = v
         return out
+
+    def close(self) -> None:
+        """Flush and close the durable store (no-op without one)."""
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "ServeRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,611 @@
+"""Crash-consistent durable state layer tests.
+
+The tentpole guarantee: for a crash injected at **any byte offset** of
+the write-ahead log — torn write, truncation, bit flip, duplicated tail
+record, lost fsync — recovery yields state bit-identical to a clean
+replay of the committed prefix, no committed record is lost or applied
+twice, and re-opening the store is idempotent.
+"""
+
+import os
+import shutil
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Mailbox, Memory, TContext, TGraph, TSampler
+from repro.durable import (
+    KIND_BATCH,
+    KIND_DELTA,
+    KIND_MARKER,
+    CodecError,
+    DurableStateStore,
+    WriteAheadLog,
+    decode_payload,
+    encode_payload,
+    fsync_dir,
+    list_snapshots,
+    load_latest,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.durable.wal import _HEADER_SIZE
+from repro.resilience import DECISIONS, SITES, FaultInjector, SimulatedDiskCrash
+from repro.serve import (
+    ServeRuntime,
+    build_stream,
+    recover_serve_state,
+    split_batches,
+)
+
+
+# ---- codec ------------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b": np.linspace(0, 1, 5, dtype=np.float32),
+            "empty": np.empty((0, 7), dtype=np.float64),
+            "scalar": np.array(3.5),
+            "flags": np.array([True, False]),
+        }
+        buf = encode_payload(KIND_BATCH, {"watermark": 1.5, "n": 3}, arrays)
+        kind, meta, out = decode_payload(buf)
+        assert kind == KIND_BATCH
+        assert meta == {"watermark": 1.5, "n": 3}
+        assert set(out) == set(arrays)
+        for key in arrays:
+            assert out[key].dtype == arrays[key].dtype
+            assert out[key].shape == arrays[key].shape
+            np.testing.assert_array_equal(out[key], arrays[key])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            decode_payload(b"")
+        with pytest.raises(CodecError):
+            decode_payload(b"\xff" * 40)
+
+    def test_truncation_rejected(self):
+        buf = encode_payload(KIND_DELTA, {}, {"x": np.arange(100.0)})
+        for cut in (1, len(buf) // 2, len(buf) - 1):
+            with pytest.raises(CodecError):
+                decode_payload(buf[:cut])
+
+
+# ---- WAL basics -------------------------------------------------------------------
+
+
+def _payloads(n, scale=9):
+    return [bytes([i & 0xFF]) * (5 + (i * scale) % 23) for i in range(n)]
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        payloads = _payloads(8)
+        with WriteAheadLog(str(tmp_path / "wal"), fsync="never") as wal:
+            lsns = [wal.append(p) for p in payloads]
+            assert lsns == list(range(1, 9))
+            assert [(l, p) for l, p in wal.replay()] == list(zip(lsns, payloads))
+
+    def test_reopen_continues_lsn_sequence(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, fsync="never") as wal:
+            wal.append(b"one")
+        with WriteAheadLog(d, fsync="never") as wal:
+            assert wal.last_lsn == 1
+            assert wal.append(b"two") == 2
+            assert [p for _, p in wal.replay()] == [b"one", b"two"]
+
+    def test_rotation_and_compaction(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, segment_bytes=128, fsync="never") as wal:
+            for p in _payloads(20):
+                wal.append(p)
+            assert wal.num_segments > 2
+            assert [l for l, _ in wal.replay()] == list(range(1, 21))
+            sealed_last = wal._segments[-2].last_lsn
+            removed = wal.compact_below(sealed_last + 1)
+            assert removed >= 1
+            # everything at/above the cut is still replayable
+            assert [l for l, _ in wal.replay()][-1] == 20
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "wal"), fsync="sometimes")
+
+    def test_lsn_hole_stops_replay(self, tmp_path):
+        """Splice a middle record out of the file: the tail after the hole
+        is not a committed prefix and must not be replayed."""
+        d = str(tmp_path / "wal")
+        ends = []
+        with WriteAheadLog(d, fsync="never") as wal:
+            for p in _payloads(5):
+                wal.append(p)
+                ends.append(os.path.getsize(wal._segments[-1].path)
+                            if False else wal._size)
+        seg = os.path.join(d, "wal-00000001.log")
+        raw = open(seg, "rb").read()
+        # remove record 3 (bytes ends[1]..ends[2]), keeping 4 and 5 intact
+        open(seg, "wb").write(raw[: ends[1]] + raw[ends[2]:])
+        with WriteAheadLog(d, fsync="never") as wal:
+            assert [l for l, _ in wal.replay()] == [1, 2]
+        # idempotent: the torn tail was physically truncated
+        with WriteAheadLog(d, fsync="never") as wal:
+            assert [l for l, _ in wal.replay()] == [1, 2]
+
+
+# ---- the crash-point sweep (tentpole property test) -------------------------------
+
+
+def _build_reference_wal(directory):
+    """A small single-segment WAL; returns (payloads, per-record end offsets)."""
+    payloads = _payloads(6, scale=7)
+    ends = []
+    with WriteAheadLog(directory, fsync="never") as wal:
+        for p in payloads:
+            wal.append(p)
+            ends.append(wal._size)
+    return payloads, ends
+
+
+def _committed_prefix(payloads, ends, boundary):
+    """Records wholly durable below byte offset *boundary*."""
+    return [p for p, end in zip(payloads, ends) if end <= boundary]
+
+
+def _recovered(directory):
+    with WriteAheadLog(directory, fsync="never") as wal:
+        return [p for _, p in wal.replay()]
+
+
+class TestCrashPointSweep:
+    """Corrupt the log at EVERY byte offset; recovery must equal a clean
+    replay of the committed prefix, bit-exactly, and be idempotent."""
+
+    @pytest.fixture()
+    def reference(self, tmp_path):
+        ref_dir = str(tmp_path / "ref")
+        payloads, ends = _build_reference_wal(ref_dir)
+        seg = os.path.join(ref_dir, "wal-00000001.log")
+        raw = open(seg, "rb").read()
+        assert len(raw) == ends[-1]
+        return payloads, ends, raw, tmp_path
+
+    def _write_case(self, tmp_path, blob):
+        case = str(tmp_path / "case")
+        if os.path.isdir(case):
+            shutil.rmtree(case)
+        os.makedirs(case)
+        with open(os.path.join(case, "wal-00000001.log"), "wb") as fh:
+            fh.write(blob)
+        return case
+
+    def test_truncation_at_every_byte_offset(self, reference):
+        payloads, ends, raw, tmp_path = reference
+        for cut in range(len(raw) + 1):
+            case = self._write_case(tmp_path, raw[:cut])
+            expected = (
+                [] if cut < _HEADER_SIZE else _committed_prefix(payloads, ends, cut)
+            )
+            assert _recovered(case) == expected, f"truncation at byte {cut}"
+            # re-opening after repair is idempotent
+            assert _recovered(case) == expected, f"re-open after cut {cut}"
+
+    def test_bit_flip_at_every_byte_offset(self, reference):
+        payloads, ends, raw, tmp_path = reference
+        for pos in range(len(raw)):
+            blob = bytearray(raw)
+            blob[pos] ^= 1 << (pos % 8)
+            case = self._write_case(tmp_path, bytes(blob))
+            if pos < _HEADER_SIZE:
+                expected = []  # header invalid: no committed records
+            else:
+                # the record containing the flipped byte — and everything
+                # after it — is no longer a committed prefix
+                start = _HEADER_SIZE
+                expected = []
+                for p, end in zip(payloads, ends):
+                    if start <= pos < end:
+                        break
+                    expected.append(p)
+                    start = end
+            assert _recovered(case) == expected, f"bit flip at byte {pos}"
+            assert _recovered(case) == expected, f"re-open after flip {pos}"
+
+    def test_duplicated_tail_record(self, reference):
+        """A duplicated record (retried write) is skipped exactly once —
+        nothing lost, nothing applied twice."""
+        payloads, ends, raw, tmp_path = reference
+        last = raw[ends[-2]:]
+        case = self._write_case(tmp_path, raw + last)
+        assert _recovered(case) == payloads
+        assert _recovered(case) == payloads
+
+
+# ---- injected disk faults ---------------------------------------------------------
+
+
+class TestInjectedDiskFaults:
+    def test_torn_write_crashes_then_recovers_prefix(self, tmp_path):
+        d = str(tmp_path / "wal")
+        inj = FaultInjector(seed=3, disk_torn_write_batches=[(0, 2)])
+        with inj:
+            wal = WriteAheadLog(d, fsync="never")
+            inj.advance(0, 0)
+            wal.append(b"record-one")
+            inj.advance(0, 1)
+            wal.append(b"record-two")
+            inj.advance(0, 2)
+            with pytest.raises(SimulatedDiskCrash):
+                wal.append(b"record-three")
+            # the crashed log refuses further use
+            with pytest.raises(RuntimeError):
+                wal.append(b"record-four")
+            wal.close()
+        with WriteAheadLog(d, fsync="never") as wal:
+            assert [p for _, p in wal.replay()] == [b"record-one", b"record-two"]
+            assert wal.stats.repaired_bytes > 0
+            assert wal.append(b"record-three") == 3
+
+    def test_silent_write_flip_caught_by_crc(self, tmp_path):
+        d = str(tmp_path / "wal")
+        inj = FaultInjector(seed=5, disk_flip_write_batches=[(0, 1)])
+        with inj:
+            wal = WriteAheadLog(d, fsync="never")
+            for b in range(4):
+                inj.advance(0, b)
+                wal.append(bytes([65 + b]) * 12)
+            wal.close()
+        with WriteAheadLog(d, fsync="never") as wal:
+            # flipped record 2 ends the committed prefix; 3 and 4 follow
+            # a corrupt record and are discarded with it
+            assert [p for _, p in wal.replay()] == [b"A" * 12]
+
+    def test_duplicated_write_deduplicated_on_replay(self, tmp_path):
+        d = str(tmp_path / "wal")
+        inj = FaultInjector(seed=7, disk_dup_write_batches=[(0, 1)])
+        with inj:
+            wal = WriteAheadLog(d, fsync="never")
+            for b in range(3):
+                inj.advance(0, b)
+                wal.append(bytes([97 + b]) * 8)
+            assert [(l, p) for l, p in wal.replay()] == [
+                (1, b"a" * 8), (2, b"b" * 8), (3, b"c" * 8)
+            ]
+            wal.close()
+        with WriteAheadLog(d, fsync="never") as wal:
+            assert [l for l, _ in wal.replay()] == [1, 2, 3]
+
+    def test_lost_fsync_drops_unsynced_window(self, tmp_path):
+        d = str(tmp_path / "wal")
+        inj = FaultInjector(seed=9, disk_lost_fsync_batches=[(0, 5)])
+        with inj:
+            wal = WriteAheadLog(d, fsync="batch", fsync_interval=3)
+            for b in range(6):
+                inj.advance(0, b)
+                if b < 5:
+                    wal.append(bytes([48 + b]) * 6)
+                else:
+                    with pytest.raises(SimulatedDiskCrash):
+                        wal.append(bytes([48 + b]) * 6)
+            wal.close()
+        with WriteAheadLog(d, fsync="never") as wal:
+            # records 1-3 were group-committed; 4-6 died with the fsync
+            assert [l for l, _ in wal.replay()] == [1, 2, 3]
+
+    def test_read_flip_is_transient_media_corruption(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, fsync="never") as wal:
+            for b in range(3):
+                wal.append(bytes([120]) * 10)
+        inj = FaultInjector(seed=11, disk_flip_read_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            with WriteAheadLog(d, fsync="never") as wal:
+                flipped = [l for l, _ in wal.replay()]
+        assert len(flipped) < 3  # corrupted read shortened the prefix
+        with WriteAheadLog(d, fsync="never") as wal:
+            assert [l for l, _ in wal.replay()] == [1, 2, 3]  # media was fine
+
+
+# ---- snapshots --------------------------------------------------------------------
+
+
+class TestSnapshots:
+    def test_roundtrip_and_prune(self, tmp_path):
+        d = str(tmp_path)
+        for lsn in (3, 7, 11):
+            write_snapshot(d, lsn, {"k": lsn}, {"x": np.full(4, float(lsn))})
+        assert [lsn for lsn, _ in list_snapshots(d)] == [3, 7, 11]
+        lsn, meta, arrays = load_latest(d)
+        assert (lsn, meta) == (11, {"k": 11})
+        np.testing.assert_array_equal(arrays["x"], np.full(4, 11.0))
+        assert prune_snapshots(d, keep=1) == 2
+        assert [lsn for lsn, _ in list_snapshots(d)] == [11]
+
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        d = str(tmp_path)
+        write_snapshot(d, 5, {}, {"x": np.arange(3.0)})
+        newest = write_snapshot(d, 9, {}, {"x": np.arange(5.0)})
+        raw = bytearray(open(newest, "rb").read())
+        raw[len(raw) // 2] ^= 0x10
+        open(newest, "wb").write(bytes(raw))
+        lsn, _, arrays = load_latest(d)
+        assert lsn == 5
+        assert len(arrays["x"]) == 3
+
+
+# ---- the durable store ------------------------------------------------------------
+
+
+class TestDurableStateStore:
+    def test_abort_filters_rolled_back_records(self, tmp_path):
+        with DurableStateStore(str(tmp_path / "s"), fsync="never") as store:
+            keep = store.log_batch({"x": np.arange(3)}, {"tag": "keep"})
+            bad = store.log_batch({"x": np.arange(9)}, {"tag": "bad"})
+            store.log_abort(bad, "validation failed")
+            store.log_marker("note", {"why": "test"})
+            state = store.recover()
+        assert [r.meta.get("tag") for r in state.records if r.kind == KIND_BATCH] \
+            == ["keep"]
+        assert state.aborted == 1
+        assert any(r.kind == KIND_MARKER for r in state.records)
+        assert state.records[0].lsn == keep
+
+    def test_snapshot_anchors_recovery_and_compacts(self, tmp_path):
+        d = str(tmp_path / "s")
+        with DurableStateStore(d, fsync="never", segment_bytes=256) as store:
+            for i in range(12):
+                store.log_delta({"x": np.full(8, float(i))}, {"i": i})
+            store.snapshot({"state": np.arange(10.0)}, {"upto": 12})
+            after = [store.log_delta({"x": np.full(8, -1.0)}, {"i": 99})]
+            state = store.recover()
+            assert state.snapshot_meta == {"upto": 12}
+            np.testing.assert_array_equal(
+                state.snapshot_arrays["state"], np.arange(10.0)
+            )
+            # only the post-snapshot suffix replays
+            assert [r.meta["i"] for r in state.records] == [99]
+            assert state.records[0].lsn == after[0]
+            assert store.compacted_segments >= 1
+
+    def test_recover_is_idempotent(self, tmp_path):
+        d = str(tmp_path / "s")
+        with DurableStateStore(d, fsync="never") as store:
+            store.log_batch({"x": np.arange(4)}, {})
+        with DurableStateStore(d, fsync="never") as s1:
+            a = s1.recover()
+        with DurableStateStore(d, fsync="never") as s2:
+            b = s2.recover()
+        assert a.snapshot_lsn == b.snapshot_lsn
+        assert len(a.records) == len(b.records) == 1
+        np.testing.assert_array_equal(a.records[0].arrays["x"],
+                                      b.records[0].arrays["x"])
+
+
+# ---- serve-path durability --------------------------------------------------------
+
+
+N_NODES = 60
+DIM = 8
+
+
+def _serve_graph(seed=0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, N_NODES, 300)
+    dst = rng.integers(0, N_NODES, 300)
+    ts = np.sort(rng.uniform(0, 100, 300))
+    return TGraph(src, dst, ts, num_nodes=N_NODES)
+
+
+def _serve_runtime(g, durable_dir, recover=False, injector=None,
+                   snapshot_every=None, fsync="batch"):
+    ctx = TContext(g)
+    mem = Memory(N_NODES, DIM)
+    mailbox = Mailbox(N_NODES, DIM)
+    rt = ServeRuntime(
+        g, ctx, mem, TSampler(5, seed=3), mailbox=mailbox, deadline=1.0,
+        injector=injector, durable_dir=durable_dir, durable_fsync=fsync,
+        snapshot_every=snapshot_every, recover=recover,
+    )
+    return rt, mem, mailbox
+
+
+def _serve_state(mem, mailbox):
+    return (mem.data.data.copy(), mem.time.copy(),
+            mailbox.mail.data.copy(), mailbox.time.copy())
+
+
+def _assert_states_equal(a, b):
+    for xa, xb in zip(a, b):
+        np.testing.assert_array_equal(xa, xb)
+
+
+class TestServeDurability:
+    def test_recovery_matches_live_state(self, tmp_path):
+        g = _serve_graph()
+        stream = build_stream(N_NODES, 240, payload_dim=DIM, seed=1)
+        d = str(tmp_path / "dur")
+        rt, mem, mailbox = _serve_runtime(g, d, snapshot_every=4)
+        for b in split_batches(stream, 24):
+            rt.submit(b)
+        rt.drain()
+        rt.close()
+        live = _serve_state(mem, mailbox)
+        rt2, mem2, mailbox2 = _serve_runtime(g, d, recover=True)
+        _assert_states_equal(live, _serve_state(mem2, mailbox2))
+        assert rt2.committer.committed_watermark == rt.committer.committed_watermark
+        rt2.close()
+
+    def test_crash_mid_commit_loses_only_unacknowledged_batch(self, tmp_path):
+        """WAL-then-apply: a torn write during request 3's log append
+        kills the process; recovery equals a clean run of requests 0-2."""
+        g = _serve_graph()
+        stream = build_stream(N_NODES, 150, payload_dim=DIM, seed=2)
+        batches = split_batches(stream, 30)
+        crashed_dir = str(tmp_path / "crashed")
+        inj = FaultInjector(seed=4, disk_torn_write_batches=[(0, 3)])
+        rt, mem, mailbox = _serve_runtime(g, crashed_dir, injector=inj,
+                                          fsync="always")
+        with inj:
+            with pytest.raises(SimulatedDiskCrash):
+                for b in batches:
+                    rt.submit(b)
+                    rt.step()
+        # clean reference: only the requests that committed before the crash
+        clean_dir = str(tmp_path / "clean")
+        rt_ref, mem_ref, mailbox_ref = _serve_runtime(g, clean_dir)
+        for b in batches[:3]:
+            rt_ref.submit(b)
+            rt_ref.step()
+        rt_ref.close()
+        rt2, mem2, mailbox2 = _serve_runtime(g, crashed_dir, recover=True)
+        _assert_states_equal(_serve_state(mem_ref, mailbox_ref),
+                             _serve_state(mem2, mailbox2))
+        assert rt2._recovery["batches_replayed"] == 3
+        rt2.close()
+
+    def test_poisoned_batch_aborted_not_reapplied(self, tmp_path):
+        """A batch rolled back by validation gets an abort record, so
+        recovery skips it: recovered state equals the live state."""
+        g = _serve_graph()
+        stream = build_stream(N_NODES, 150, payload_dim=DIM, seed=3)
+        d = str(tmp_path / "dur")
+        inj = FaultInjector(seed=6, serve_poison_batches=[(0, 1)])
+        rt, mem, mailbox = _serve_runtime(g, d, injector=inj)
+        with inj:
+            for b in split_batches(stream, 30):
+                rt.submit(b)
+                rt.step()
+        rt.close()
+        assert rt.committer.stats.rollbacks == 1
+        live = _serve_state(mem, mailbox)
+        rt2, mem2, mailbox2 = _serve_runtime(g, d, recover=True)
+        _assert_states_equal(live, _serve_state(mem2, mailbox2))
+        assert rt2._recovery["aborted_skipped"] == 1
+        rt2.close()
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        g = _serve_graph()
+        stream = build_stream(N_NODES, 120, payload_dim=DIM, seed=4)
+        d = str(tmp_path / "dur")
+        rt, mem, mailbox = _serve_runtime(g, d)
+        for b in split_batches(stream, 40):
+            rt.submit(b)
+        rt.drain()
+        rt.close()
+        rt_a, mem_a, mb_a = _serve_runtime(g, d, recover=True)
+        rt_a.close()
+        rt_b, mem_b, mb_b = _serve_runtime(g, d, recover=True)
+        rt_b.close()
+        _assert_states_equal(_serve_state(mem_a, mb_a), _serve_state(mem_b, mb_b))
+
+
+# ---- training-path delta log ------------------------------------------------------
+
+
+class TestTrainerDeltaLog:
+    def test_delta_resume_is_bit_exact(self, tmp_path):
+        from repro.bench import ResilientTrainer
+        from repro.bench.experiments import Experiment, ExperimentConfig
+        from repro.resilience import SimulatedProcessKill
+
+        def experiment():
+            return Experiment(ExperimentConfig(
+                model="tgn", dataset="wiki", framework="tglite+opt", epochs=2,
+                batch_size=300, dim_embed=8, dim_time=8, dim_mem=8,
+                num_layers=1, seed=7,
+            ))
+
+        def fingerprint(exp):
+            return ([p.data.copy() for p in exp.model.parameters()],
+                    exp.g.mem.data.data.copy(), exp.g.mem.time.copy(),
+                    exp.g.mailbox.mail.data.copy(), exp.g.mailbox.time.copy())
+
+        def run(subdir, injector=None, resume=False):
+            exp = experiment()
+            trainer = ResilientTrainer(
+                exp.model, exp.g, exp.optimizer, exp.neg_sampler,
+                batch_size=300, checkpoint_dir=str(tmp_path / subdir),
+                checkpoint_every=2, injector=injector, delta_log=True,
+            )
+            try:
+                result = trainer.train(epochs=2, train_end=900, resume=resume)
+            finally:
+                trainer.close()
+                exp.close()
+            return result, fingerprint(exp)
+
+        _, fp_clean = run("clean")
+        inj = FaultInjector(seed=5, process_kill_at=(1, 1))
+        with pytest.raises(SimulatedProcessKill):
+            run("killed", injector=inj)
+        resumed, fp_resumed = run("killed", resume=True)
+        assert resumed.events[0].kind == "resume"
+        # the delta log fast-forwarded past the last full checkpoint
+        assert "logged deltas" in resumed.events[0].detail
+        for pa, pb in zip(fp_clean[0], fp_resumed[0]):
+            np.testing.assert_array_equal(pa, pb)
+        for xa, xb in zip(fp_clean[1:], fp_resumed[1:]):
+            np.testing.assert_array_equal(xa, xb)
+
+
+# ---- fault-injector registry ------------------------------------------------------
+
+
+class TestFaultRegistry:
+    def test_unknown_decision_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fault decision"):
+            FaultInjector(rates={"disk.write.melt": 0.5})
+        with pytest.raises(ValueError, match="unknown fault decision"):
+            FaultInjector(schedules={"bogus.site": [(0, 0)]})
+
+    def test_every_decision_maps_to_a_registered_site(self):
+        for decision, site in DECISIONS.items():
+            assert site in SITES, f"{decision} -> {site} missing from SITES"
+
+    def test_disk_sites_registered(self):
+        for site in ("disk.write", "disk.fsync", "disk.read"):
+            assert site in SITES
+
+
+# ---- checkpoint satellites --------------------------------------------------------
+
+
+class _TinyModel(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.lin = nn.Linear(4, 2)
+
+
+class TestCheckpointIntegritySurfacing:
+    def test_v2_checkpoint_reports_verified(self, tmp_path):
+        from repro.bench.checkpoint import load_checkpoint, save_checkpoint
+
+        model = _TinyModel()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, model)
+        meta = load_checkpoint(path, model)
+        assert meta["verified"] is True
+
+    def test_missing_crc_warns_and_reports_unverified(self, tmp_path):
+        from repro.bench.checkpoint import load_checkpoint, save_checkpoint
+
+        model = _TinyModel()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, model)
+        # strip the CRC section, as a version-1 archive would lack it
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files if k != "meta/crc32"}
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.warns(RuntimeWarning, match="no stored CRC32"):
+            meta = load_checkpoint(path, model)
+        assert meta["verified"] is False
+
+    def test_fsync_dir_tolerates_bad_path(self):
+        assert fsync_dir("/definitely/not/a/real/directory") is False
