@@ -16,6 +16,12 @@ online serving runtime (:mod:`repro.serve`)::
 
     python -m repro.bench serve --dataset wiki --load 16 --poison --assert-valid
     python -m repro.bench serve --events 5000 --load 4 --chaos
+
+A ``scenarios`` subcommand scores streaming drift scenarios under
+frozen vs continual (train-on-serve-log) models (:mod:`repro.scenarios`)::
+
+    python -m repro.bench scenarios --list
+    python -m repro.bench scenarios --matrix --events 1200 --output drift.txt
 """
 
 from __future__ import annotations
@@ -26,8 +32,10 @@ from typing import List, Optional
 
 from ..data import available_datasets, get_dataset
 from .experiments import FRAMEWORKS, MODELS, Experiment, ExperimentConfig
+from .scenario_cli import build_scenarios_parser, scenarios_main
 
-__all__ = ["main", "build_parser", "build_serve_parser", "serve_main"]
+__all__ = ["main", "build_parser", "build_serve_parser", "serve_main",
+           "build_scenarios_parser", "scenarios_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -256,6 +264,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        return scenarios_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_datasets:
         _print_datasets()

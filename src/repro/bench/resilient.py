@@ -470,10 +470,10 @@ class ResilientTrainer:
     # ---- batch execution --------------------------------------------------------
 
     def _run_batch(self, result: ResilientResult, epoch: int, b: int,
-                   train_end: int) -> float:
-        """Forward/backward/step for one (freshly built) batch."""
-        lo = b * self.batch_size
-        batch = TBatch(self.g, lo, min(lo + self.batch_size, train_end))
+                   lo: int, hi: int) -> float:
+        """Forward/backward/step for one (freshly built) batch over edges
+        ``[lo, hi)``."""
+        batch = TBatch(self.g, lo, hi)
         if self._dp is not None:
             step = self._dp.train_step(batch, self.neg_sampler)
             result.simulated_parallel_seconds += step.simulated_parallel_seconds
@@ -505,7 +505,7 @@ class ResilientTrainer:
         return loss_value
 
     def _attempt_batch(self, result: ResilientResult, epoch: int, b: int,
-                       train_end: int) -> Tuple[float, dict]:
+                       lo: int, hi: int) -> Tuple[float, dict]:
         """Run one batch with snapshot-restore retries on transient faults.
 
         Returns ``(loss, snap)`` — the pre-batch snapshot doubles as the
@@ -515,7 +515,7 @@ class ResilientTrainer:
         ctx = getattr(self.g, "ctx", None)
         for attempt in range(self.max_retries + 1):
             try:
-                return self._run_batch(result, epoch, b, train_end), snap
+                return self._run_batch(result, epoch, b, lo, hi), snap
             except TransientKernelError as exc:
                 self._restore_snapshot(snap)
                 if ctx is not None and ctx.record_kernel_fault(exc.site):
@@ -641,8 +641,11 @@ class ResilientTrainer:
                         restored = True
                         continue
                 t0 = time.perf_counter()
+                lo = b * self.batch_size
                 try:
-                    loss_value, snap = self._attempt_batch(result, epoch, b, train_end)
+                    loss_value, snap = self._attempt_batch(
+                        result, epoch, b, lo, min(lo + self.batch_size, train_end)
+                    )
                     epoch_losses[b] = loss_value
                     if self.store is not None:
                         self.store.log_delta(
@@ -676,6 +679,108 @@ class ResilientTrainer:
                     )
                     epoch += 1
                     b = 0
+        finally:
+            if self.store is not None:
+                self.store.sync()
+            if own_injector:
+                hooks.uninstall(self.injector)
+        return result
+
+    # ---- incremental fine-tuning ------------------------------------------------
+
+    def fine_tune(
+        self,
+        start: int,
+        stop: int,
+        passes: int = 1,
+        graph: Optional[TGraph] = None,
+    ) -> ResilientResult:
+        """Incrementally train on the edge window ``[start, stop)``.
+
+        The continual-learning entry point (:mod:`repro.scenarios.continual`):
+        unlike :meth:`train` it never resets model state or the negative
+        sampler — it *continues* the current trajectory on freshly
+        arrived edges — and it accepts a replacement *graph* so a WAL
+        tailer can grow the edge set between calls.  All of the
+        resilience machinery still applies: transient faults retry under
+        snapshot-restore, an anchor checkpoint is written at the window
+        start (plus every ``checkpoint_every`` windows), and divergence
+        rolls back to the last checkpoint with the same streak cap as
+        :meth:`train`.
+
+        Args:
+            start: first edge index of the fine-tuning window.
+            stop: one past the last edge index.
+            passes: sweeps over the window (each a mini-epoch in the
+                returned result's ``epochs`` list).
+            graph: optionally replace ``self.g`` first (its edge arrays
+                must contain ``[start, stop)``).
+
+        Returns a :class:`ResilientResult` covering just this call.
+        """
+        if graph is not None:
+            self.g = graph
+        start, stop = int(start), int(stop)
+        result = ResilientResult()
+        if stop <= start or passes < 1:
+            return result
+        if stop > len(self.g.src):
+            raise ValueError(
+                f"fine-tune window [{start}, {stop}) exceeds the graph's "
+                f"{len(self.g.src)} edges"
+            )
+        n_windows = -(-(stop - start) // self.batch_size)
+        own_injector = (
+            self.injector is not None and hooks.active() is not self.injector
+        )
+        if own_injector:
+            hooks.install(self.injector)
+        try:
+            p, w = 0, 0
+            losses: List[float] = []
+            pass_seconds = 0.0
+            rollback_streak: Dict[Tuple[int, int], int] = {}
+            while p < passes:
+                injector = hooks.active()
+                if injector is not None:
+                    injector.advance(p, w)
+                hooks.poke("trainer.batch", epoch=p, batch=w)
+                if w % self.checkpoint_every == 0:
+                    outcome = self._write_checkpoint(result, p, w)
+                    if outcome == "validation":
+                        p, w = self._rollback(result, p, w, "state validation failed")
+                        del losses[w:]
+                        continue
+                lo = start + w * self.batch_size
+                hi = min(lo + self.batch_size, stop)
+                t0 = time.perf_counter()
+                try:
+                    loss_value, snap = self._attempt_batch(result, p, w, lo, hi)
+                    losses.append(loss_value)
+                    if self.store is not None:
+                        self.store.log_delta(
+                            self._build_delta(snap),
+                            {"epoch": p, "batch": w, "loss": loss_value},
+                        )
+                except DivergenceError as exc:
+                    key = (p, w)
+                    rollback_streak[key] = rollback_streak.get(key, 0) + 1
+                    if rollback_streak[key] > self.max_retries:
+                        raise
+                    p, w = self._rollback(result, p, w, str(exc))
+                    del losses[w:]
+                    continue
+                pass_seconds += time.perf_counter() - t0
+                w += 1
+                if w >= n_windows:
+                    mean_loss = float(np.mean(losses)) if losses else 0.0
+                    result.epochs.append(
+                        EpochResult(p, pass_seconds, mean_loss, 0.0, 0.0)
+                    )
+                    losses = []
+                    pass_seconds = 0.0
+                    p += 1
+                    w = 0
         finally:
             if self.store is not None:
                 self.store.sync()

@@ -5,6 +5,7 @@ from .dataset import TemporalDataset, available_datasets, get_dataset
 from .negative import NegativeSampler
 from .split import InductiveSplit, inductive_split
 from .synthetic import (
+    derive_rng,
     DATASETS,
     GeneratorSpec,
     generate_edges,
@@ -24,6 +25,7 @@ __all__ = [
     "inductive_split",
     "DATASETS",
     "GeneratorSpec",
+    "derive_rng",
     "generate_edges",
     "generate_features",
     "generate_labels",

@@ -39,6 +39,7 @@ from .codec import (
 )
 from .snapshot import list_snapshots, load_latest, prune_snapshots, write_snapshot
 from .store import DurableRecord, DurableStateStore, RecoveredState
+from .tail import CursorInvalidated, WALCursor
 from .wal import WALStats, WriteAheadLog, fsync_dir
 
 __all__ = [
@@ -60,4 +61,6 @@ __all__ = [
     "DurableRecord",
     "DurableStateStore",
     "RecoveredState",
+    "CursorInvalidated",
+    "WALCursor",
 ]

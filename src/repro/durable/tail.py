@@ -1,0 +1,243 @@
+"""Prefix-consistent tailing reads over a live write-ahead log.
+
+:class:`WALCursor` is an independent, read-only follower of a WAL
+directory that some other component (the serving runtime's
+:class:`~repro.serve.StateCommitter`) is actively appending to.  It is
+the transport of the serve→train loop: the continual learner polls the
+cursor for newly *committed* event batches and never touches the
+writer's file handles or in-memory state.
+
+Guarantees (tested in ``tests/test_durable.py``):
+
+* **Prefix consistency.**  :meth:`poll` only ever delivers records from
+  the committed prefix as defined by :func:`repro.durable.wal.parse_segment`
+  — the same definition the owning log uses for recovery.  A torn frame,
+  CRC failure, or LSN hole stops the scan; nothing at or past the damage
+  is delivered, and the next poll retries from the cursor position.
+* **Monotonic, gap-free delivery.**  Records are delivered exactly once,
+  in strictly increasing LSN order, with no holes (a hole would mean the
+  cursor skipped a committed record).
+* **Abort visibility.**  The newest committed record is *held back*
+  (unless ``final=True``): the serving commit path logs a batch *before*
+  validating it and logs the compensating ``KIND_ABORT`` immediately
+  after a validation failure, so once a record's successor exists its
+  abort — if any — is on disk.  One record of lag therefore suffices for
+  the cursor to filter aborted batches before the learner trains on
+  them.  ``KIND_ABORT`` records themselves are consumed as filters, not
+  delivered.
+* **Restartability.**  Cursor position is persisted (atomic tmp + rename
+  + directory fsync) to ``cursor-<name>.json`` in the log directory; a
+  restarted reader resumes exactly after the last delivered record.
+* **Timeline-change detection.**  A reader can observe flushed bytes
+  that were never fsynced; if the writer then crashes with a lost fsync,
+  those LSNs are reissued with different content on restart.  The cursor
+  stores the CRC of its last delivered record and re-verifies it against
+  the log every poll — a mismatch (or the record vanishing entirely)
+  raises :class:`CursorInvalidated` instead of silently delivering a
+  forked history.  :meth:`reset` rewinds for redelivery after the caller
+  has discarded derived state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .codec import KIND_ABORT, CodecError, decode_payload
+from .store import DurableRecord
+from .wal import fsync_dir, list_segment_files, parse_segment, read_segment_bytes
+
+__all__ = ["CursorInvalidated", "WALCursor"]
+
+
+class CursorInvalidated(RuntimeError):
+    """The log's history diverged from what this cursor already delivered.
+
+    Raised when the record at the cursor's position disappeared or
+    changed content (LSN reuse after a lost-fsync crash), or when
+    compaction deleted segments past the cursor.  The reader must
+    discard state derived from undelivered records and :meth:`reset`.
+    """
+
+
+class WALCursor:
+    """Persistent, restartable tailing cursor over a WAL directory.
+
+    Args:
+        directory: the log directory some :class:`WriteAheadLog` owns.
+        name: distinguishes multiple independent cursors on one log;
+            state lives in ``cursor-<name>.json``.
+        inject: route reads through the ``disk.read`` fault site (same
+            as owner-side replay) so injected read corruption is subject
+            to the prefix-consistency guarantee, not hidden from it.
+    """
+
+    def __init__(self, directory: str, name: str = "tail", inject: bool = True):
+        self.directory = os.path.abspath(directory)
+        self.name = str(name)
+        self.inject = bool(inject)
+        self.state_path = os.path.join(self.directory, f"cursor-{self.name}.json")
+        #: LSN of the last record delivered to the caller (0 = none yet).
+        self.last_lsn = 0
+        #: frame CRC of that record, for timeline-change detection.
+        self.last_crc: Optional[int] = None
+        self.delivered = 0
+        self.polls = 0
+        self._load_state()
+
+    # ---- persistent state --------------------------------------------------------
+
+    def _load_state(self) -> None:
+        try:
+            with open(self.state_path, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+        except FileNotFoundError:
+            return
+        except (OSError, json.JSONDecodeError):
+            # A torn cursor file only costs redelivery, never correctness:
+            # fall back to the log's beginning.
+            return
+        self.last_lsn = int(state.get("last_lsn", 0))
+        crc = state.get("last_crc")
+        self.last_crc = int(crc) if crc is not None else None
+        self.delivered = int(state.get("delivered", 0))
+
+    def _save_state(self) -> None:
+        tmp = self.state_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "name": self.name,
+                    "last_lsn": int(self.last_lsn),
+                    "last_crc": self.last_crc,
+                    "delivered": int(self.delivered),
+                },
+                fh,
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.state_path)
+        fsync_dir(self.directory)
+
+    # ---- scanning ----------------------------------------------------------------
+
+    def _scan(self) -> List[Tuple[int, bytes, int]]:
+        """Parse the committed prefix of all live segments.
+
+        Mirrors :meth:`WriteAheadLog.replay`: segments in sequence order,
+        LSN continuity threaded across boundaries, scan stopped at the
+        first non-intact segment.
+        """
+        records: List[Tuple[int, bytes, int]] = []
+        prev: Optional[int] = None
+        for _, path in list_segment_files(self.directory):
+            try:
+                buf = read_segment_bytes(path, self.inject)
+            except OSError:
+                break  # segment vanished mid-scan (compaction race)
+            segment_records, _, intact, last = parse_segment(buf, prev)
+            records.extend(segment_records)
+            if not intact:
+                break
+            prev = last if last is not None else prev
+        return records
+
+    def _check_timeline(self, records: List[Tuple[int, bytes, int]]) -> None:
+        if self.last_lsn == 0:
+            return
+        by_lsn = {lsn: crc for lsn, _, crc in records}
+        crc = by_lsn.get(self.last_lsn)
+        if crc is None:
+            if records and records[0][0] > self.last_lsn:
+                # Compaction deleted the cursor's segment: position still
+                # meaningful but history before the remaining log is gone.
+                raise CursorInvalidated(
+                    f"log compacted past cursor {self.name!r}: first live "
+                    f"record is lsn {records[0][0]}, cursor at {self.last_lsn}"
+                )
+            raise CursorInvalidated(
+                f"record lsn {self.last_lsn} delivered by cursor "
+                f"{self.name!r} no longer exists (lost-fsync timeline change)"
+            )
+        if self.last_crc is not None and crc != self.last_crc:
+            raise CursorInvalidated(
+                f"record lsn {self.last_lsn} changed content under cursor "
+                f"{self.name!r} (crc {crc:#x} != {self.last_crc:#x}): the "
+                "log restarted on a divergent timeline"
+            )
+
+    # ---- polling -----------------------------------------------------------------
+
+    def poll(self, final: bool = False) -> List[DurableRecord]:
+        """Deliver newly committed records past the cursor, advancing it.
+
+        The newest committed record is held back so a trailing
+        ``KIND_ABORT`` can still veto it; pass ``final=True`` once the
+        writer has stopped to drain that last record too.  Raises
+        :class:`CursorInvalidated` on history divergence (see class doc).
+        """
+        self.polls += 1
+        records = self._scan()
+        self._check_timeline(records)
+        fresh = [r for r in records if r[0] > self.last_lsn]
+        if not fresh:
+            return []
+        # Aborts are scanned over *everything* parsed — including the
+        # held-back tail — so an abort that is itself the newest record
+        # still vetoes its (deliverable) target.
+        aborted = set()
+        decoded: Dict[int, Tuple[int, Dict, Dict]] = {}
+        deliver_end = fresh[-1][0] if final else fresh[-1][0] - 1
+        for lsn, payload, _ in fresh:
+            try:
+                kind, meta, arrays = decode_payload(payload)
+            except CodecError:
+                # Framing CRC passed but the payload is junk: treat the
+                # damage like any other corruption — stop the committed
+                # prefix just before it.
+                deliver_end = min(deliver_end, lsn - 1)
+                break
+            decoded[lsn] = (kind, meta, arrays)
+            if kind == KIND_ABORT:
+                aborted.add(int(meta.get("target", -1)))
+        out: List[DurableRecord] = []
+        advanced_to: Optional[Tuple[int, int]] = None
+        for lsn, _, crc in fresh:
+            if lsn > deliver_end or lsn not in decoded:
+                break
+            kind, meta, arrays = decoded[lsn]
+            advanced_to = (lsn, crc)
+            if kind == KIND_ABORT or lsn in aborted:
+                continue
+            out.append(DurableRecord(lsn=lsn, kind=kind, meta=meta, arrays=arrays))
+        if advanced_to is not None:
+            self.last_lsn, self.last_crc = advanced_to
+            self.delivered += len(out)
+            self._save_state()
+        return out
+
+    def reset(self, to_lsn: int = 0) -> None:
+        """Rewind to *to_lsn* (0 = log start), forgetting delivery history.
+
+        The next :meth:`poll` redelivers everything past *to_lsn*; the
+        caller owns deduplication of anything it already consumed.
+        """
+        self.last_lsn = int(to_lsn)
+        self.last_crc = None
+        self._save_state()
+
+    def position(self) -> Dict:
+        """Cursor position and counters (for stats / debugging)."""
+        return {
+            "name": self.name,
+            "last_lsn": self.last_lsn,
+            "delivered": self.delivered,
+            "polls": self.polls,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WALCursor({self.directory!r}, name={self.name!r}, "
+            f"last_lsn={self.last_lsn}, delivered={self.delivered})"
+        )

@@ -50,7 +50,14 @@ from typing import Iterator, List, Optional, Tuple
 from ..resilience.errors import SimulatedDiskCrash
 from ..resilience.hooks import poke as _poke
 
-__all__ = ["WALStats", "WriteAheadLog", "fsync_dir"]
+__all__ = [
+    "WALStats",
+    "WriteAheadLog",
+    "fsync_dir",
+    "list_segment_files",
+    "read_segment_bytes",
+    "parse_segment",
+]
 
 MAGIC = b"TGLITEWAL001"
 VERSION = 1
@@ -63,6 +70,86 @@ MAX_RECORD_BYTES = 1 << 30
 _SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
 
 _FSYNC_POLICIES = ("always", "batch", "never")
+
+
+def list_segment_files(directory: str) -> List[Tuple[int, str]]:
+    """Return ``(seq, path)`` for every segment file in *directory*, sorted.
+
+    Shared by the owning :class:`WriteAheadLog` and independent readers
+    (:class:`repro.durable.tail.WALCursor`) so both agree on what the log
+    physically consists of.
+    """
+    out = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        m = _SEGMENT_RE.match(name)
+        if m:
+            out.append((int(m.group(1)), os.path.join(directory, name)))
+    return sorted(out)
+
+
+def read_segment_bytes(path: str, inject: bool) -> bytes:
+    """Read one segment file, optionally through the ``disk.read`` site."""
+    with open(path, "rb") as fh:
+        buf = fh.read()
+    if inject and len(buf):
+        directive = _poke("disk.read", path=path, size=len(buf))
+        if directive is not None and directive[0] == "flip":
+            ba = bytearray(buf)
+            ba[directive[1] % len(ba)] ^= 1 << directive[2]
+            buf = bytes(ba)
+    return buf
+
+
+def parse_segment(
+    buf: bytes, prev_lsn: Optional[int]
+) -> Tuple[List[Tuple[int, bytes, int]], int, bool, Optional[int]]:
+    """Parse one segment buffer's committed prefix.
+
+    Returns ``(records, valid_end, intact, last_lsn)`` where ``records``
+    are the valid ``(lsn, payload, crc)`` triples, ``valid_end`` is the
+    byte offset just past the last valid record (0 when the header itself
+    is bad), and ``intact`` says the whole buffer parsed.  Parsing stops
+    — without raising — at the first torn frame, CRC mismatch, nonsense
+    length, or LSN hole; a record repeating the previous LSN (duplicated
+    tail from a retried write) is skipped, not fatal.  This is the one
+    shared definition of "committed prefix" used by the owning
+    :class:`WriteAheadLog` and by independent tailing readers.
+    """
+    if len(buf) < _HEADER_SIZE or buf[:_HEADER_SIZE] != _HEADER:
+        return [], 0, False, prev_lsn
+    records: List[Tuple[int, bytes, int]] = []
+    pos = _HEADER_SIZE
+    valid_end = pos
+    last = prev_lsn
+    while pos < len(buf):
+        if pos + _FRAME.size > len(buf):
+            break  # torn frame header
+        length, crc = _FRAME.unpack_from(buf, pos)
+        if length < _LSN.size or length > MAX_RECORD_BYTES:
+            break  # nonsense length (corruption)
+        if pos + _FRAME.size + length > len(buf):
+            break  # torn body
+        body = buf[pos + _FRAME.size : pos + _FRAME.size + length]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            break  # bit flip / corrupted frame
+        (lsn,) = _LSN.unpack_from(body)
+        pos += _FRAME.size + length
+        if last is not None and lsn == last:
+            valid_end = pos  # duplicated tail record: skip, keep going
+            continue
+        if last is not None and lsn != last + 1:
+            # LSN hole: an earlier record never became durable (lost
+            # fsync) — everything from here on is not a valid prefix.
+            pos -= _FRAME.size + length
+            break
+        records.append((lsn, body[_LSN.size :], crc))
+        last = lsn
+        valid_end = pos
+    return records, valid_end, pos >= len(buf), last
 
 
 def fsync_dir(path: str) -> bool:
@@ -157,12 +244,7 @@ class WriteAheadLog:
     # ---- opening / repair --------------------------------------------------------
 
     def _segment_files(self) -> List[Tuple[int, str]]:
-        out = []
-        for name in os.listdir(self.directory):
-            m = _SEGMENT_RE.match(name)
-            if m:
-                out.append((int(m.group(1)), os.path.join(self.directory, name)))
-        return sorted(out)
+        return list_segment_files(self.directory)
 
     def _open_and_repair(self) -> None:
         """Scan existing segments, truncate the torn tail, open for append."""
@@ -221,59 +303,13 @@ class WriteAheadLog:
 
     # ---- parsing -----------------------------------------------------------------
 
-    def _read_segment_bytes(self, path: str, inject: bool) -> bytes:
-        with open(path, "rb") as fh:
-            buf = fh.read()
-        if inject and len(buf):
-            directive = _poke("disk.read", path=path, size=len(buf))
-            if directive is not None and directive[0] == "flip":
-                ba = bytearray(buf)
-                ba[directive[1] % len(ba)] ^= 1 << directive[2]
-                buf = bytes(ba)
-        return buf
-
     def _parse_segment(
         self, path: str, prev_lsn: Optional[int], inject: bool
     ) -> Tuple[List[Tuple[int, bytes]], int, bool, Optional[int]]:
-        """Parse one segment's committed prefix.
-
-        Returns ``(records, valid_end, intact, last_lsn)`` where
-        ``records`` are the valid ``(lsn, payload)`` pairs, ``valid_end``
-        is the byte offset of the first invalid record (0 when the header
-        itself is bad), and ``intact`` says the whole file parsed.
-        """
-        buf = self._read_segment_bytes(path, inject)
-        if len(buf) < _HEADER_SIZE or buf[:_HEADER_SIZE] != _HEADER:
-            return [], 0, False, prev_lsn
-        records: List[Tuple[int, bytes]] = []
-        pos = _HEADER_SIZE
-        valid_end = pos
-        last = prev_lsn
-        while pos < len(buf):
-            if pos + _FRAME.size > len(buf):
-                break  # torn frame header
-            length, crc = _FRAME.unpack_from(buf, pos)
-            if length < _LSN.size or length > MAX_RECORD_BYTES:
-                break  # nonsense length (corruption)
-            if pos + _FRAME.size + length > len(buf):
-                break  # torn body
-            body = buf[pos + _FRAME.size : pos + _FRAME.size + length]
-            if zlib.crc32(body) & 0xFFFFFFFF != crc:
-                break  # bit flip / corrupted frame
-            (lsn,) = _LSN.unpack_from(body)
-            pos += _FRAME.size + length
-            if last is not None and lsn == last:
-                valid_end = pos  # duplicated tail record: skip, keep going
-                continue
-            if last is not None and lsn != last + 1:
-                # LSN hole: an earlier record never became durable (lost
-                # fsync) — everything from here on is not a valid prefix.
-                pos -= _FRAME.size + length
-                break
-            records.append((lsn, body[_LSN.size :]))
-            last = lsn
-            valid_end = pos
-        return records, valid_end, pos >= len(buf), last
+        """Parse one segment's committed prefix (see :func:`parse_segment`)."""
+        buf = read_segment_bytes(path, inject)
+        records, valid_end, intact, last = parse_segment(buf, prev_lsn)
+        return [(lsn, payload) for lsn, payload, _ in records], valid_end, intact, last
 
     # ---- appending ---------------------------------------------------------------
 

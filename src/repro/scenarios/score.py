@@ -1,0 +1,120 @@
+"""Accuracy-under-drift scoring for scenario streams.
+
+The unit of measurement is a *scored stream*: per-event model scores
+aligned with a :class:`~repro.scenarios.base.LabeledStream`'s
+ground-truth labels (1 = genuine, 0 = noise/spam).  Windowed average
+precision turns that into a curve over stream time — the quantity the
+scenario matrix regresses on — and :func:`gap_recovered` condenses a
+frozen/continual/oracle comparison into the single acceptance number
+(share of the frozen→oracle AP gap that continual learning closes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bench.metrics import average_precision
+from .base import LabeledStream
+
+__all__ = [
+    "windowed_ap",
+    "accuracy_under_drift",
+    "phase_ap",
+    "gap_recovered",
+]
+
+
+def _clean(labels: np.ndarray, scores: np.ndarray):
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError(
+            f"labels ({labels.shape}) and scores ({scores.shape}) must align"
+        )
+    keep = np.isfinite(scores)
+    return labels[keep], scores[keep]
+
+
+def _window_ap(labels: np.ndarray, scores: np.ndarray) -> float:
+    """AP of one window; NaN when the window has only one class."""
+    if labels.sum() in (0, len(labels)):
+        return float("nan")
+    return average_precision(labels, scores)
+
+
+def windowed_ap(
+    labels: np.ndarray, scores: np.ndarray, num_windows: int = 10
+) -> List[Dict]:
+    """AP over equal-count windows of the stream, in order.
+
+    Returns one ``{"window", "start", "stop", "ap", "positives"}`` dict
+    per window; events with non-finite scores (e.g. not yet served) are
+    dropped before windowing.  A single-class window reports ``ap=nan``.
+    """
+    labels, scores = _clean(labels, scores)
+    n = len(labels)
+    bounds = np.linspace(0, n, num_windows + 1).astype(int)
+    out: List[Dict] = []
+    for w in range(num_windows):
+        lo, hi = bounds[w], bounds[w + 1]
+        out.append(
+            {
+                "window": w,
+                "start": int(lo),
+                "stop": int(hi),
+                "ap": _window_ap(labels[lo:hi], scores[lo:hi]),
+                "positives": int(labels[lo:hi].sum()),
+            }
+        )
+    return out
+
+
+def accuracy_under_drift(
+    stream: LabeledStream, scores: np.ndarray, num_windows: int = 10
+) -> Dict:
+    """The scenario-matrix summary for one scored stream.
+
+    Returns overall AP, the :func:`windowed_ap` curve, per-phase AP, and
+    the minimum windowed AP (the depth of the drift dip).
+    """
+    windows = windowed_ap(stream.labels, scores, num_windows=num_windows)
+    labels, clean_scores = _clean(stream.labels, scores)
+    finite = [w["ap"] for w in windows if np.isfinite(w["ap"])]
+    return {
+        "scenario": stream.spec.name,
+        "seed": stream.spec.seed,
+        "num_events": len(stream),
+        "overall_ap": _window_ap(labels, clean_scores),
+        "min_window_ap": min(finite) if finite else float("nan"),
+        "windows": windows,
+        "phases": phase_ap(stream, scores),
+    }
+
+
+def phase_ap(stream: LabeledStream, scores: np.ndarray) -> Dict[int, float]:
+    """AP restricted to each scenario phase (pre/during/post ...)."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    out: Dict[int, float] = {}
+    for p in np.unique(stream.phase):
+        mask = (stream.phase == p) & np.isfinite(scores)
+        if not mask.any():
+            out[int(p)] = float("nan")
+            continue
+        out[int(p)] = _window_ap(stream.labels[mask], scores[mask])
+    return out
+
+
+def gap_recovered(frozen_ap: float, continual_ap: float, oracle_ap: float) -> float:
+    """Fraction of the frozen→oracle AP gap the continual learner closed.
+
+    1.0 = matched the oracle, 0.0 = no better than frozen; can exceed
+    1.0 (beat the oracle) or go negative (made things worse).  When the
+    oracle fails to beat frozen (gap <= 0) there is nothing to recover —
+    returns 1.0 if continual at least matched frozen, else 0.0.
+    """
+    gap = oracle_ap - frozen_ap
+    if gap <= 1e-9:
+        return 1.0 if continual_ap >= frozen_ap - 1e-9 else 0.0
+    return float((continual_ap - frozen_ap) / gap)

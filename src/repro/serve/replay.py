@@ -158,7 +158,7 @@ def split_batches(stream: EventBatch, batch_size: int) -> List[EventBatch]:
 
 
 def replay(runtime, batches: List[EventBatch], load: float = 1.0,
-           deadline: Optional[float] = None) -> List:
+           deadline: Optional[float] = None, on_result=None) -> List:
     """Offer *batches* at ``load`` times the full-quality service rate.
 
     Arrival spacing is the full-rung cost estimate divided by *load*: at
@@ -168,6 +168,12 @@ def replay(runtime, batches: List[EventBatch], load: float = 1.0,
     runtime available.  One request is served per arrival slot; the
     simulated clock carries the queueing delay.  Returns the runtime's
     results after draining.
+
+    ``on_result(runtime, result)`` is invoked once per
+    :class:`~repro.serve.runtime.RequestResult` as it is produced (shed
+    results included), in order — the hook point where a tailing
+    continual learner polls the WAL and hot-swaps the model between
+    requests.  The callback must not submit requests of its own.
     """
     if load <= 0:
         raise ValueError("load must be positive")
@@ -178,6 +184,17 @@ def replay(runtime, batches: List[EventBatch], load: float = 1.0,
         arrivals.append((t, batch))
         t += cost.estimate("full", len(batch)) / load
     i = 0
+    notified = 0
+
+    def _notify():
+        nonlocal notified
+        if on_result is None:
+            return
+        while notified < len(runtime.results):
+            result = runtime.results[notified]
+            notified += 1
+            on_result(runtime, result)
+
     # Event-driven single-server loop: deliver every arrival whose
     # scheduled time has passed (backdated, so queueing delay eats the
     # deadline budget), then serve one request; idle-advance otherwise.
@@ -189,6 +206,9 @@ def replay(runtime, batches: List[EventBatch], load: float = 1.0,
             runtime.submit(batch, deadline=deadline, arrival=at)
         if runtime.admission.depth:
             runtime.step()
+            _notify()
         elif i < len(arrivals):
             runtime.clock.advance_to(arrivals[i][0])
-    return runtime.drain()
+    results = runtime.drain()
+    _notify()
+    return results

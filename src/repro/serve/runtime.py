@@ -162,6 +162,53 @@ class ServeRuntime:
             )
         self.results: List[RequestResult] = []
         self._next_rid = 0
+        #: hot-swappable scoring table (None = score from raw memory rows).
+        self._model_table: Optional[np.ndarray] = None
+        self.model_version = 0
+        self.model_watermark = float("-inf")
+
+    # ---- model hot swap ----------------------------------------------------------
+
+    def swap_model(
+        self,
+        table: np.ndarray,
+        version: Optional[int] = None,
+        watermark: Optional[float] = None,
+    ) -> int:
+        """Atomically install a new scoring table; returns its version.
+
+        The table is a ``(num_nodes, d)`` float32 embedding matrix used
+        by every ladder rung *in place of* raw memory rows when scoring.
+        Swapping touches only the read path: ingestion, commit, memory,
+        mailbox, and the durable log are untouched, so serve state stays
+        bit-identical to a swap-free replay (tested).  The layer-0
+        embedding cache is cleared because its entries were computed
+        under the previous model.
+
+        Args:
+            table: the new embedding table (copied defensively).
+            version: caller's version stamp (defaults to an increment).
+            watermark: newest event time the model was trained on; the
+                gap to ``committed_watermark`` is the model's staleness,
+                reported by :meth:`stats`.
+        """
+        table = np.asarray(table, dtype=np.float32)
+        if table.ndim != 2 or table.shape[0] != self.graph.num_nodes:
+            raise ValueError(
+                f"model table must be (num_nodes={self.graph.num_nodes}, d), "
+                f"got {table.shape}"
+            )
+        self._model_table = table.copy()
+        self.model_version = (
+            self.model_version + 1 if version is None else int(version)
+        )
+        if watermark is not None:
+            self.model_watermark = float(watermark)
+        cache = self.ctx.embed_cache(0)
+        if cache.enabled:
+            cache.clear()
+        self.ctx.count("serve:model_swaps", 1)
+        return self.model_version
 
     # ---- submission --------------------------------------------------------------
 
@@ -306,15 +353,21 @@ class ServeRuntime:
         logits = np.sum(emb[:n] * emb[n:], axis=1)
         return (1.0 / (1.0 + np.exp(-logits))).astype(np.float32)
 
+    def _embed_rows(self) -> np.ndarray:
+        """The per-node scoring table: swapped-in model, else raw memory."""
+        if self._model_table is not None:
+            return self._model_table
+        return self.memory.data.data
+
     def _embed_memory(self, nodes: np.ndarray) -> np.ndarray:
-        return self.memory.data.data[nodes]
+        return self._embed_rows()[nodes]
 
     def _embed_sampled(self, nodes, times, fanout: int) -> np.ndarray:
         """Memory rows enriched with the mean of sampled temporal neighbors."""
         res = self.sampler.sample_arrays(
             self.graph.csr(), nodes, times, ctx=self.ctx, num_nbrs=fanout
         )
-        mem = self.memory.data.data
+        mem = self._embed_rows()
         emb = mem[nodes].astype(np.float32).copy()
         if len(res.srcnodes):
             agg = np.zeros_like(emb)
@@ -350,6 +403,11 @@ class ServeRuntime:
         out.update({f"ladder:{k}": v for k, v in sorted(self.ladder.decisions.items())})
         out["watermark"] = self.ingest.watermark
         out["committed_watermark"] = self.committer.committed_watermark
+        out["model:version"] = self.model_version
+        if self._model_table is not None and np.isfinite(self.model_watermark):
+            out["model:staleness"] = max(
+                0.0, self.committer.committed_watermark - self.model_watermark
+            )
         if self.store is not None:
             out.update({f"durable:{k}": v for k, v in self.store.stats().items()})
         for k, v in self._recovery.items():

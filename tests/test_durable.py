@@ -21,7 +21,9 @@ from repro.durable import (
     KIND_DELTA,
     KIND_MARKER,
     CodecError,
+    CursorInvalidated,
     DurableStateStore,
+    WALCursor,
     WriteAheadLog,
     decode_payload,
     encode_payload,
@@ -503,6 +505,175 @@ class TestServeDurability:
         rt_b, mem_b, mb_b = _serve_runtime(g, d, recover=True)
         rt_b.close()
         _assert_states_equal(_serve_state(mem_a, mb_a), _serve_state(mem_b, mb_b))
+
+
+# ---- prefix-consistent WAL tailing (the serve→train transport) --------------------
+
+
+def _marker_payload(i):
+    return encode_payload(KIND_MARKER, {"i": i}, {})
+
+
+class TestWALCursorTailing:
+    def test_live_tail_is_monotonic_gap_free_with_holdback(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, fsync="never") as wal:
+            cursor = WALCursor(d, name="tail")
+            seen = []
+            for i in range(6):
+                wal.append(_marker_payload(i))
+                seen.extend(r.lsn for r in cursor.poll())
+                # the newest committed record is held back for abort lag
+                assert seen == list(range(1, i + 1))
+            seen.extend(r.lsn for r in cursor.poll(final=True))
+        assert seen == [1, 2, 3, 4, 5, 6]
+        assert cursor.poll(final=True) == []  # exactly once, ever
+
+    def test_aborted_batch_is_never_delivered(self, tmp_path):
+        d = str(tmp_path / "s")
+        with DurableStateStore(d, fsync="never") as store:
+            cursor = WALCursor(d, name="learner")
+            store.log_batch({"x": np.arange(3)}, {"tag": "keep"})
+            bad = store.log_batch({"x": np.arange(9)}, {"tag": "poisoned"})
+            store.log_abort(bad, "validation failed")
+            # the abort is itself the newest (held-back) record, yet it
+            # still vetoes its now-deliverable target
+            out = cursor.poll()
+            assert [r.meta.get("tag") for r in out] == ["keep"]
+            store.log_marker("epoch", {})
+            out = cursor.poll(final=True)
+            assert [r.kind for r in out] == [KIND_MARKER]
+
+    def test_restarted_cursor_resumes_without_redelivery(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, fsync="never") as wal:
+            for i in range(5):
+                wal.append(_marker_payload(i))
+        c1 = WALCursor(d, name="tail")
+        assert [r.lsn for r in c1.poll()] == [1, 2, 3, 4]  # lsn 5 held back
+        c2 = WALCursor(d, name="tail")  # reader process restart
+        assert [r.lsn for r in c2.poll(final=True)] == [5]
+        assert WALCursor(d, name="tail").poll(final=True) == []
+
+    def test_torn_cursor_state_only_costs_redelivery(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, fsync="never") as wal:
+            for i in range(3):
+                wal.append(_marker_payload(i))
+        c1 = WALCursor(d, name="tail")
+        c1.poll(final=True)
+        with open(c1.state_path, "w") as fh:
+            fh.write("{torn")
+        c2 = WALCursor(d, name="tail")
+        assert [r.lsn for r in c2.poll(final=True)] == [1, 2, 3]
+
+    def test_flipped_write_stops_the_tail_at_the_damage(self, tmp_path):
+        d = str(tmp_path / "wal")
+        inj = FaultInjector(seed=21, disk_flip_write_batches=[(0, 2)])
+        delivered = []
+        with inj:
+            wal = WriteAheadLog(d, fsync="never")
+            cursor = WALCursor(d, name="tail")
+            for b in range(5):
+                inj.advance(0, b)
+                wal.append(_marker_payload(b))
+                delivered.extend(cursor.poll())
+            delivered.extend(cursor.poll(final=True))
+            wal.close()
+        # record 3 was silently flipped on write; 4-5 sit past the
+        # corruption.  The tail is exactly the committed prefix: never a
+        # torn, out-of-order, or duplicate record.
+        assert [r.lsn for r in delivered] == [1, 2]
+        assert [r.meta["i"] for r in delivered] == [0, 1]
+
+    def test_torn_write_then_repair_keeps_cursor_valid(self, tmp_path):
+        d = str(tmp_path / "wal")
+        inj = FaultInjector(seed=23, disk_torn_write_batches=[(0, 2)])
+        cursor = WALCursor(d, name="tail")
+        with inj:
+            wal = WriteAheadLog(d, fsync="never")
+            for b in range(2):
+                inj.advance(0, b)
+                wal.append(_marker_payload(b))
+            inj.advance(0, 2)
+            with pytest.raises(SimulatedDiskCrash):
+                wal.append(_marker_payload(2))
+            # torn bytes are on disk; the tail must not observe them
+            assert [r.lsn for r in cursor.poll(final=True)] == [1, 2]
+            wal.close()
+        # the restarted writer truncates the torn tail and reuses lsn 3;
+        # the cursor's delivered history (1-2) is untouched, so it keeps
+        # tailing seamlessly
+        with WriteAheadLog(d, fsync="never") as wal:
+            wal.append(_marker_payload(99))
+        out = cursor.poll(final=True)
+        assert [(r.lsn, r.meta["i"]) for r in out] == [(3, 99)]
+
+    def test_transient_read_corruption_defers_never_corrupts(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, fsync="never") as wal:
+            for i in range(3):
+                wal.append(_marker_payload(i))
+        cursor = WALCursor(d, name="tail")
+        inj = FaultInjector(seed=25, disk_flip_read_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            first = cursor.poll(final=True)  # corrupted read: short prefix
+        later = cursor.poll(final=True)  # media was fine: the rest arrives
+        assert [r.lsn for r in first + later] == [1, 2, 3]
+        assert [r.meta["i"] for r in first + later] == [0, 1, 2]
+
+    def test_lost_fsync_timeline_change_raises(self, tmp_path):
+        d = str(tmp_path / "wal")
+        wal = WriteAheadLog(d, fsync="never")
+        wal.append(_marker_payload(0))
+        durable_end = wal._size
+        wal.append(_marker_payload(1))
+        wal.close()
+        cursor = WALCursor(d, name="tail")
+        assert [r.lsn for r in cursor.poll(final=True)] == [1, 2]
+        # lost-fsync crash: record 2's bytes never reached the platter...
+        seg = os.path.join(d, "wal-00000001.log")
+        with open(seg, "r+b") as fh:
+            fh.truncate(durable_end)
+        # ...and the restarted writer reissues lsn 2 with different content
+        with WriteAheadLog(d, fsync="never") as wal2:
+            assert wal2.append(_marker_payload(7)) == 2
+        with pytest.raises(CursorInvalidated, match="divergent timeline"):
+            cursor.poll()
+        # reset redelivers the surviving history; the caller owns dedup
+        cursor.reset()
+        out = cursor.poll(final=True)
+        assert [(r.lsn, r.meta["i"]) for r in out] == [(1, 0), (2, 7)]
+
+    def test_vanished_record_raises(self, tmp_path):
+        d = str(tmp_path / "wal")
+        wal = WriteAheadLog(d, fsync="never")
+        wal.append(_marker_payload(0))
+        durable_end = wal._size
+        wal.append(_marker_payload(1))
+        wal.close()
+        cursor = WALCursor(d, name="tail")
+        assert [r.lsn for r in cursor.poll(final=True)] == [1, 2]
+        with open(os.path.join(d, "wal-00000001.log"), "r+b") as fh:
+            fh.truncate(durable_end)
+        with pytest.raises(CursorInvalidated, match="no longer exists"):
+            cursor.poll()
+
+    def test_compaction_past_cursor_raises(self, tmp_path):
+        d = str(tmp_path / "wal")
+        with WriteAheadLog(d, segment_bytes=64, fsync="never") as wal:
+            for i in range(3):
+                wal.append(_marker_payload(i))
+            cursor = WALCursor(d, name="slow")
+            assert [r.lsn for r in cursor.poll()] == [1, 2]
+            for i in range(3, 12):
+                wal.append(_marker_payload(i))
+            sealed_last = wal._segments[-2].last_lsn
+            assert sealed_last > 2
+            assert wal.compact_below(sealed_last + 1) >= 1
+            with pytest.raises(CursorInvalidated, match="compacted past"):
+                cursor.poll()
 
 
 # ---- training-path delta log ------------------------------------------------------
