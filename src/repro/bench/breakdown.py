@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core import iter_batches
 from ..core import op as tgop
+from ..store import ops as store_ops
 from ..models.attention import TemporalAttnLayer
 from ..models.tgat import TGAT
 from ..nn import bce_with_logits
@@ -81,12 +82,12 @@ def _tglite_epoch(exp: Experiment, stop: int, bd: Breakdown) -> None:
                     if model.opt.dedup:
                         tail = tgop.dedup(tail)
                     if model.opt.cache:
-                        tail = tgop.cache(exp.ctx, tail)
+                        tail = store_ops.memoize(exp.ctx, tail)
                 with bd.section("sample"):
                     tail = model.sampler.sample(tail)
             with bd.section("data_load"):
                 if model.opt.preload:
-                    tgop.preload(head, use_pin=model.opt.pin_memory)
+                    store_ops.preload(head, use_pin=model.opt.pin_memory)
                 tail.dstdata["h"] = tail.dstfeat()
                 tail.srcdata["h"] = tail.srcfeat()
             with bd.section("attention"):

@@ -32,7 +32,13 @@ from typing import List, Optional
 
 from ..data import available_datasets, get_dataset
 from .experiments import FRAMEWORKS, MODELS, Experiment, ExperimentConfig
-from .scenario_cli import build_scenarios_parser, scenarios_main
+from .scenario_cli import (
+    add_store_flags,
+    build_scenarios_parser,
+    scenarios_main,
+    store_config_from_args,
+    store_flags_set,
+)
 
 __all__ = ["main", "build_parser", "build_serve_parser", "serve_main",
            "build_scenarios_parser", "scenarios_main"]
@@ -74,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "runtime)")
     parser.add_argument("--list-datasets", action="store_true",
                         help="print dataset statistics and exit")
+    add_store_flags(parser)
     return parser
 
 
@@ -129,6 +136,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--recover", action="store_true",
                         help="replay --durable-dir into memory/mailbox before "
                              "serving (resume a crashed runtime)")
+    add_store_flags(parser)
     return parser
 
 
@@ -159,9 +167,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print("poisoned stream:", ", ".join(f"{k}={v}" for k, v in injected.items()),
               f"(lateness bound {lateness:.4g})")
 
+    use_store = store_flags_set(args)
+
     def make_runtime(injector=None, reliable=False):
         g = TGraph(clean.src, clean.dst, clean.ts, num_nodes=num_nodes)
-        ctx = TContext(g)
+        ctx = TContext(g, store=store_config_from_args(args) if use_store else None)
         mem = Memory(num_nodes, args.dim_mem)
         mailbox = Mailbox(num_nodes, args.dim_mem)
         sampler = TSampler(args.num_nbrs, seed=args.seed)
@@ -177,6 +187,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             durable_fsync=args.fsync,
             snapshot_every=args.snapshot_every or None,
             recover=args.recover,
+            feature_store=use_store,
         )
         return g, ctx, mem, mailbox, runtime
 
@@ -287,6 +298,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         lr=args.lr,
         seed=args.seed,
         device_capacity=args.capacity_mb * 1024 * 1024 if args.capacity_mb else None,
+        store_hot_mb=args.store_hot_mb,
+        store_cold_dir=args.store_cold_dir,
+        store_prefetch_depth=args.prefetch_depth,
     )
     print(f"running {cfg.label()}  (batch={cfg.batch_size}, nbrs={cfg.num_nbrs}, "
           f"layers={cfg.num_layers}, epochs={cfg.epochs})")
@@ -311,6 +325,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.inference:
             seconds, ap = exp.run_test_inference()
             print(f"test inference: {seconds:.2f}s  AP {ap:.4f}")
+        fstore = (exp.ctx.store if exp.ctx is not None
+                  else getattr(exp.model, "feature_store", None))
+        if cfg.uses_feature_store and fstore is not None:
+            st = fstore.stats()
+            print(f"feature store: stall {st.stall_seconds:.4f}s, "
+                  f"saved {st.stall_saved_seconds:.4f}s "
+                  f"({100 * st.stall_recovered_fraction:.1f}% recovered), "
+                  f"bytes moved {st.bytes_moved}")
+            for tier, t in st.tiers.items():
+                print(f"  {tier:8s} hits {t.hits:>9d}  misses {t.misses:>9d}  "
+                      f"in {t.bytes_in:>12d}B  out {t.bytes_out:>12d}B  "
+                      f"evict {t.evictions:>7d}  demote {t.demotions:>7d}")
     finally:
         exp.close()
     return 0

@@ -162,6 +162,12 @@ class ResilientTrainer:
             the whole checkpoint interval.
         delta_fsync: WAL durability policy for the delta log
             (``'always'`` / ``'batch'`` / ``'never'``).
+        ctx: opt-in store-driven batch prefetch: when the context's
+            tiered store prefetches (``prefetch_depth > 0``), each
+            batch's working set is gathered through the store and the
+            next batch's set is prefetched behind it on the simulated
+            clock.  A retried or rolled-back batch simply re-consumes
+            rows that are already hot, so recovery stays bit-exact.
     """
 
     CHECKPOINT_NAME = "resilient.npz"
@@ -185,6 +191,7 @@ class ResilientTrainer:
         extra_generators: Optional[Dict[str, np.random.Generator]] = None,
         delta_log: bool = False,
         delta_fsync: str = "always",
+        ctx=None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -216,6 +223,13 @@ class ResilientTrainer:
             self.store = DurableStateStore(
                 os.path.join(checkpoint_dir, "wal"), fsync=delta_fsync
             )
+        self._pipeline = None
+        fstore = getattr(ctx, "store", None) if ctx is not None else None
+        if fstore is not None and fstore.config.prefetch_depth > 0:
+            from ..store.prefetch import BatchPipeline, attach_graph_sources
+
+            attach_graph_sources(fstore, g)
+            self._pipeline = BatchPipeline(fstore, g)
 
     # ---- state plumbing ---------------------------------------------------------
 
@@ -377,10 +391,11 @@ class ResilientTrainer:
 
     def _clear_derived_caches(self) -> None:
         """Drop inference-only embed caches (derived state, never
-        checkpointed) so corrupt or stale entries cannot survive."""
+        checkpointed) so corrupt or stale entries cannot survive —
+        including rows demoted into the store's staging/cold tiers."""
         ctx = getattr(self.g, "ctx", None)
         if ctx is not None:
-            ctx._embed_caches.clear()
+            ctx.clear_embed_cache()
 
     # ---- recovery actions -------------------------------------------------------
 
@@ -474,6 +489,10 @@ class ResilientTrainer:
         """Forward/backward/step for one (freshly built) batch over edges
         ``[lo, hi)``."""
         batch = TBatch(self.g, lo, hi)
+        if self._pipeline is not None:
+            # Demand-gather this batch's working set (consuming any rows
+            # a previous batch's lookahead already staged).
+            self._pipeline.consume_batch(batch)
         if self._dp is not None:
             step = self._dp.train_step(batch, self.neg_sampler)
             result.simulated_parallel_seconds += step.simulated_parallel_seconds
@@ -502,6 +521,14 @@ class ResilientTrainer:
             loss_value = loss.item()
         _mark_time_encoders_updated(self.model)
         self._guard_divergence(loss_value)
+        if self._pipeline is not None:
+            # Overlap: this batch's compute pays for the next one's
+            # transfers.  Prefetching past train_end (into edges the
+            # epoch never reaches) just leaves a few staged rows unused.
+            self._pipeline.advance(batch)
+            hi2 = min(hi + self.batch_size, self.g.num_edges)
+            if hi < hi2:
+                self._pipeline.prefetch_batch(TBatch(self.g, hi, hi2))
         return loss_value
 
     def _attempt_batch(self, result: ResilientResult, epoch: int, b: int,

@@ -1,17 +1,18 @@
 """TContext: settings and scratch space used by the TGLite runtime.
 
 A :class:`TContext` carries (a) placement policy — which simulated device
-computation runs on and where raw feature data lives — and (b) scratch
-storage for the optimization operators: the embedding cache used by
-``op.cache()`` (backed by the array kernels in
-:mod:`repro.core.kernels.cache`), the precomputed time-vector tables used
-by ``op.precomputed_times()``/``op.precomputed_zeros()``, and the pool of
-pinned staging buffers used by ``op.preload()``.
+computation runs on and where raw feature data lives — and (b) the
+:class:`~repro.store.tiered.TieredFeatureStore` behind the optimization
+operators: the per-layer embedding memoization used by ``op.cache()``
+(spaces ``'embed:<layer>'``), the pool of pinned staging buffers used by
+``op.preload()``, and the precomputed time-vector tables used by
+``op.precomputed_times()``/``op.precomputed_zeros()``.
 
 Instrumentation is read through one surface: :meth:`TContext.stats`
 returns a :class:`~repro.core.stats.ContextStats` snapshot (operator
-counters, per-layer cache hit rates, pinned-pool reuse, and per-kernel
-wall time) and :meth:`TContext.reset_stats` clears it.
+counters, per-layer cache hit rates, pinned-pool reuse, per-kernel wall
+time, and the store's per-tier bytes-moved/stall accounting) and
+:meth:`TContext.reset_stats` clears it.
 """
 
 from __future__ import annotations
@@ -21,6 +22,9 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..store.api import StoreConfig
+from ..store.tiered import TieredFeatureStore
+from ..store.tiers import PinnedPool as _PinnedPool  # compat re-export
 from ..tensor import Tensor
 from ..tensor.device import CPU, Device, get_device
 from .kernels.cache import NodeTimeCache as _EmbedCache
@@ -31,42 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["TContext"]
 
+#: sentinel distinguishing "cache_limit not passed" from an explicit value.
+_UNSET = object()
 
-class _PinnedPool:
-    """Reusable pinned staging buffers, keyed by trailing row shape + dtype.
-
-    Mirrors TGLite's pre-allocated pinned-memory pool: ``preload()`` copies
-    gathered feature rows into a pooled buffer so the (simulated) DMA engine
-    can transfer at pinned bandwidth without per-batch allocation.
-    """
-
-    def __init__(self):
-        self._buffers: Dict[Tuple[Tuple[int, ...], str], np.ndarray] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def stage(self, rows: np.ndarray) -> Tensor:
-        """Copy *rows* into a pooled pinned host buffer and return it."""
-        key = (rows.shape[1:], rows.dtype.str)
-        buf = self._buffers.get(key)
-        if buf is None or buf.shape[0] < rows.shape[0]:
-            capacity = max(rows.shape[0], 2 * (buf.shape[0] if buf is not None else 0))
-            buf = np.empty((capacity,) + rows.shape[1:], dtype=rows.dtype)
-            self._buffers[key] = buf
-            self.misses += 1
-        else:
-            self.hits += 1
-        view = buf[: rows.shape[0]]
-        np.copyto(view, rows)
-        staged = Tensor(view, device=CPU, pinned=True)
-        return staged
-
-    def clear(self) -> None:
-        self._buffers.clear()
-
-    def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+#: store-space prefix of per-layer embedding memoization caches.
+_EMBED_PREFIX = "embed:"
 
 
 class TContext:
@@ -75,29 +48,61 @@ class TContext:
     Args:
         graph: the :class:`~repro.core.graph.TGraph` this context serves.
         device: simulated device computation runs on.
-        cache_limit: capacity (rows) of each per-layer embedding cache;
-            values ``<= 0`` disable embedding caching entirely.
+        cache_limit: **deprecated** — capacity (rows) of each per-layer
+            embedding cache; values ``<= 0`` disable embedding caching.
+            Passing it pins the legacy behaviour exactly (flat FIFO hot
+            tier, no staging/cold/prefetch).  Use ``store=`` instead.
         time_window: rounding resolution for precomputed-time lookups; time
             deltas are quantized to multiples of this before table lookup
             (0 means exact float matching).
+        store: the tiered feature store behind the caches — a
+            :class:`~repro.store.api.StoreConfig` (a store is built from
+            it), an existing :class:`~repro.store.tiered.TieredFeatureStore`
+            to share, or ``None`` for defaults.
     """
 
     def __init__(
         self,
         graph: "TGraph",
         device: Union[str, Device, None] = None,
-        cache_limit: int = 20000,
+        cache_limit=_UNSET,
         time_window: float = 0.0,
+        store: Union[StoreConfig, TieredFeatureStore, None] = None,
     ):
         self.graph = graph
         self.device = get_device(device)
-        self.cache_limit = cache_limit
         self.time_window = time_window
         self.training = True
         graph.ctx = self
 
-        self._pinned_pool = _PinnedPool()
-        self._embed_caches: Dict[int, _EmbedCache] = {}
+        if cache_limit is not _UNSET:
+            if store is not None:
+                raise ValueError(
+                    "pass either store= or the deprecated cache_limit=, not both")
+            warnings.warn(
+                "TContext(cache_limit=...) is deprecated; pass "
+                "store=StoreConfig(hot_capacity=..., hot_policy='fifo', "
+                "staging_rows=0, prefetch_depth=0) for the legacy flat "
+                "cache, or use the tiered defaults",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # Legacy semantics, bit-for-bit: one flat FIFO ring per layer,
+            # nothing demoted, nothing prefetched.
+            store = StoreConfig(
+                hot_capacity=int(cache_limit), hot_policy="fifo",
+                staging_rows=0, prefetch_depth=0,
+            )
+        if isinstance(store, TieredFeatureStore):
+            self.store = store
+        else:
+            self.store = TieredFeatureStore(
+                store if store is not None else StoreConfig(),
+                timer=self.add_kernel_time,
+            )
+        #: hot-tier row capacity (kept as a readable attribute for the
+        #: serve ladder's ``cache_limit <= 0`` disabled-cache check).
+        self.cache_limit = self.store.config.hot_capacity
         self._time_tables: Dict[int, dict] = {}
         self._time_zero_rows: Dict[int, Tuple[int, np.ndarray]] = {}
         #: operator-effectiveness counters (rows seen/removed per operator),
@@ -138,25 +143,39 @@ class TContext:
 
     @property
     def pinned_pool(self) -> _PinnedPool:
-        return self._pinned_pool
+        return self.store.pinned_pool
 
     def stage_pinned(self, rows: np.ndarray) -> Tensor:
         """Stage host rows into the pinned pool (see ``op.preload``)."""
-        return self._pinned_pool.stage(rows)
+        return self.store.pinned_pool.stage(rows)
 
     # ---- embedding cache -------------------------------------------------------------
 
     def embed_cache(self, layer: int) -> _EmbedCache:
-        """The (lazily created) embedding cache for a given layer index."""
-        cache = self._embed_caches.get(layer)
-        if cache is None:
-            cache = _EmbedCache(self.cache_limit, timer=self.add_kernel_time)
-            self._embed_caches[layer] = cache
-        return cache
+        """One layer's embedding cache — the hot tier of its store space.
+
+        Kept for compatibility and statistics; rows stored here flow
+        through the same tiering/eviction chain as every other space.
+        """
+        return self.store.space(f"{_EMBED_PREFIX}{int(layer)}").hot
+
+    @property
+    def _embed_caches(self) -> Dict[int, _EmbedCache]:
+        """Read-only layer -> hot-cache view (legacy introspection).
+
+        ``resilience.validate`` iterates this; mutating the returned dict
+        does nothing — use :meth:`clear_embed_cache` / ``store.evict()``.
+        """
+        out: Dict[int, _EmbedCache] = {}
+        for name in self.store.spaces():
+            if name.startswith(_EMBED_PREFIX):
+                out[int(name[len(_EMBED_PREFIX):])] = self.store.space(name).hot
+        return out
 
     def clear_embed_cache(self) -> None:
-        for cache in self._embed_caches.values():
-            cache.clear()
+        for name in self.store.spaces():
+            if name.startswith(_EMBED_PREFIX):
+                self.store.evict(name)
 
     # ---- instrumentation --------------------------------------------------------
 
@@ -223,17 +242,20 @@ class TContext:
         statistics, pinned-pool reuse counts, and per-kernel wall time —
         the numbers §5.2's discussion attributes speedups to.
         """
+        pool = self.store.pinned_pool
         return ContextStats(
             counters=dict(self.counters),
             cache={
-                layer: CacheLayerStats(c.hits, c.lookups, c.num_entries)
+                layer: CacheLayerStats(c.hits, c.lookups, c.num_entries,
+                                       c.evictions)
                 for layer, c in self._embed_caches.items()
             },
-            pinned=PinnedPoolStats(self._pinned_pool.hits, self._pinned_pool.misses),
+            pinned=PinnedPoolStats(pool.hits, pool.misses),
             kernel_seconds=dict(self._kernel_seconds),
             degraded=dict(self.degraded),
             kernel_faults=dict(self._kernel_faults),
             latency=self._latency_stats(),
+            store=self.store.stats(),
         )
 
     def reset_stats(self) -> None:
@@ -245,9 +267,7 @@ class TContext:
         self._kernel_seconds.clear()
         self._latencies.clear()
         self._latency_count = 0
-        self._pinned_pool.reset_stats()
-        for cache in self._embed_caches.values():
-            cache.reset_stats()
+        self.store.reset_stats()
 
     # ---- deprecated instrumentation shims -----------------------------------
 
@@ -302,8 +322,8 @@ class TContext:
 
     def reset(self) -> None:
         """Drop all scratch state (between experiments)."""
-        self._pinned_pool.clear()
-        self._embed_caches.clear()
+        self.store.pinned_pool.clear()
+        self.store.clear()
         self.clear_time_tables()
         self.degraded.clear()
         self._kernel_faults.clear()

@@ -1,20 +1,42 @@
 """Array-based (node, time) -> slot embedding store.
 
-Backs ``op.cache()`` (TGOpt-style memoization) and the manual baseline's
-memo table.  Entries live in a FIFO ring of ``capacity`` float32 rows; an
-open-addressing hash table maps each (node, time) key to its ring slot.
-Both ``lookup`` and ``store`` are batched: probing advances *all*
-unresolved queries one bucket per pass with full-width numpy ops, so the
-per-row Python dict loops of the original implementation disappear.
+Backs the hot tier of :class:`repro.store.TieredFeatureStore` (and,
+through it, ``op.cache()`` — TGOpt-style memoization — and the manual
+baseline's memo table).  Entries live in a ring of ``capacity`` float32
+rows; an open-addressing hash table maps each (node, time) key to its
+ring slot.  Both ``lookup`` and ``store`` are batched: probing advances
+*all* unresolved queries one bucket per pass with full-width numpy ops,
+so the per-row Python dict loops of the original implementation
+disappear.
 
-Batch-store contract (implemented identically by the loop reference):
+Two eviction policies are available:
+
+* ``'fifo'`` (default) — the historical ring: allocations claim
+  consecutive slots, wrapping around.  This is the policy the
+  ``_Reference*`` loop implementation pins bit-identically.
+* ``'reuse'`` — reuse-distance-aware: each slot tracks when it was last
+  referenced and an exponential average of its inter-reference gap; a
+  full cache evicts the slots whose *predicted next reference*
+  (``last_access + gap``) is farthest in the future — a practical
+  approximation of Belady's farthest-in-future rule that batches of
+  temporal-GNN queries reward (hot nodes re-appear with short, stable
+  gaps).  Deterministic: ties break toward the lower slot index.
+
+Batch-store contract (implemented identically by the loop reference for
+the ``'fifo'`` policy):
 
 1. *Refresh pass* — keys already resident have their value overwritten
    in place (keeping their ring slot and FIFO position).
-2. *Allocation pass* — keys not resident are assigned consecutive ring
-   slots in order of first occurrence within the batch; each allocation
-   evicts the slot's previous occupant.  Duplicate keys within a batch
-   take their last occurrence's value.
+2. *Allocation pass* — keys not resident are assigned slots in order of
+   first occurrence within the batch; each allocation evicts the slot's
+   previous occupant.  Duplicate keys within a batch take their last
+   occurrence's value.
+
+Evictions are surfaced explicitly: the ``evictions`` counter counts
+every resident entry displaced, and an optional ``on_evict`` callback
+receives the displaced ``(nodes, times, rows)`` so an owning tiered
+store can demote them to a colder tier instead of silently dropping
+them.
 
 A ``capacity <= 0`` store is disabled: lookups miss, stores are no-ops
 (this also fixes the historical ``ZeroDivisionError`` for
@@ -32,6 +54,9 @@ from ...resilience.hooks import poke as _poke
 from .dedup import unique_node_times
 
 __all__ = ["NodeTimeCache", "_ReferenceNodeTimeCache"]
+
+#: eviction policies understood by :class:`NodeTimeCache`.
+POLICIES = ("fifo", "reuse")
 
 _EMPTY = -1
 _TOMBSTONE = -2
@@ -60,15 +85,33 @@ class NodeTimeCache:
         dim: row width; discovered from the first ``store`` if omitted.
         timer: optional ``(name, seconds)`` callback fed per-kernel wall
             time (wired to :meth:`TContext.stats` by the context).
+        policy: eviction policy, ``'fifo'`` (historical ring) or
+            ``'reuse'`` (reuse-distance-aware; see module docstring).
+        on_evict: optional callback receiving ``(nodes, times, rows)``
+            for every batch of displaced resident entries, letting a
+            tiered store demote them instead of dropping them.
     """
 
     def __init__(self, capacity: int, dim: Optional[int] = None,
-                 timer: Optional[Callable[[str, float], None]] = None):
+                 timer: Optional[Callable[[str, float], None]] = None,
+                 policy: str = "fifo",
+                 on_evict: Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = None):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r} (expected one of {POLICIES})")
         self.capacity = int(capacity)
         self.dim = dim
+        self.policy = policy
+        self.on_evict = on_evict
         self.hits = 0
         self.lookups = 0
+        self.evictions = 0
         self._timer = timer
+        # Reuse-distance bookkeeping (only maintained under policy='reuse'):
+        # a logical access tick, per-slot last-access tick, and per-slot
+        # EMA of the inter-access gap (predicted next ref = last + gap).
+        self._tick = 0
+        self._last_access: Optional[np.ndarray] = None
+        self._gap: Optional[np.ndarray] = None
         self._values: Optional[np.ndarray] = None
         self._slot_nodes: Optional[np.ndarray] = None
         self._slot_times: Optional[np.ndarray] = None
@@ -123,9 +166,34 @@ class NodeTimeCache:
         rows = np.zeros((n, self.dim), dtype=np.float32)
         rows[hit] = self._values[slots[hit]]
         self.hits += int(hit.sum())
+        if self.policy == "reuse" and hit.any():
+            self._touch(np.unique(slots[hit]))
         if self._timer:
             self._timer("cache_lookup", time.perf_counter() - start)
         return hit, rows
+
+    def contains(self, nodes: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Side-effect-free residency probe: boolean mask per query pair.
+
+        Unlike :meth:`lookup`, this perturbs nothing — no hit/lookup
+        counters, no reuse-distance touches — so cost estimators (e.g.
+        the serve ladder's fetch-penalty model) can ask "would this hit?"
+        without distorting the statistics they are estimating from.
+        """
+        n = len(nodes)
+        if self._values is None or n == 0:
+            return np.zeros(n, dtype=bool)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = _canonical_times(times)
+        _, slots = self._probe_find(nodes, times)
+        return slots >= 0
+
+    def _touch(self, slots: np.ndarray) -> None:
+        """Advance the access tick and fold it into per-slot reuse stats."""
+        self._tick += 1
+        observed = (self._tick - self._last_access[slots]).astype(np.float64)
+        self._gap[slots] = 0.5 * self._gap[slots] + 0.5 * observed
+        self._last_access[slots] = self._tick
 
     def store(self, nodes: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
         if not self.enabled or len(nodes) == 0:
@@ -150,6 +218,8 @@ class NodeTimeCache:
         present = slots >= 0
         if present.any():
             self._values[slots[present]] = values[last[present]].astype(np.float32)
+            if self.policy == "reuse":
+                self._touch(slots[present])
 
         # Allocation pass: absent keys, in first-occurrence order.
         new = np.flatnonzero(~present)
@@ -166,6 +236,7 @@ class NodeTimeCache:
         if m >= cap:
             # The batch replaces the whole ring: only the last `cap`
             # allocations survive (matching sequential FIFO wraparound).
+            self._evicted(np.arange(self._nslots, dtype=np.int64))
             survivors = slice(m - cap, m)
             order = (self._cursor + np.arange(m - cap, m)) % cap
             self._slot_nodes[order] = kn[survivors]
@@ -174,12 +245,47 @@ class NodeTimeCache:
             self._nslots = cap
             self._cursor = (self._cursor + m) % cap
             self._rebuild_table()
+            if self.policy == "reuse":
+                self._tick += 1
+                self._last_access[:] = self._tick
+                self._gap[:] = float(cap)
+        elif self.policy == "reuse":
+            if self._used + self._tombs + m > (self._nbuckets * 3) // 5:
+                self._rebuild_table()
+            # Fill any never-used slots first; the remainder displaces the
+            # resident entries whose predicted next reference is farthest
+            # in the future (ties break toward the lower slot index).
+            fresh = min(m, cap - self._nslots)
+            fresh_slots = np.arange(self._nslots, self._nslots + fresh, dtype=np.int64)
+            short = m - fresh
+            if short:
+                pred = (self._last_access[: self._nslots]
+                        + self._gap[: self._nslots])
+                victim_order = np.lexsort(
+                    (np.arange(self._nslots, dtype=np.int64), -pred)
+                )
+                victims = victim_order[:short]
+                self._evicted(victims)
+                self._table_delete(self._slot_nodes[victims], self._slot_times[victims])
+                slots_new = np.concatenate([fresh_slots, victims])
+            else:
+                slots_new = fresh_slots
+            self._slot_nodes[slots_new] = kn
+            self._slot_times[slots_new] = kt
+            self._values[slots_new] = kv
+            self._nslots += fresh
+            self._cursor = self._nslots % cap
+            self._table_insert(kn, kt, slots_new)
+            self._tick += 1
+            self._last_access[slots_new] = self._tick
+            self._gap[slots_new] = float(cap)
         else:
             if self._used + self._tombs + m > (self._nbuckets * 3) // 5:
                 self._rebuild_table()
             slots_new = (self._cursor + np.arange(m, dtype=np.int64)) % cap
             evict = slots_new[slots_new < self._nslots]
             if len(evict):
+                self._evicted(evict)
                 self._table_delete(self._slot_nodes[evict], self._slot_times[evict])
             self._slot_nodes[slots_new] = kn
             self._slot_times[slots_new] = kt
@@ -187,9 +293,28 @@ class NodeTimeCache:
             self._nslots = cap if self._cursor + m >= cap else max(self._nslots, self._cursor + m)
             self._cursor = (self._cursor + m) % cap
             self._table_insert(kn, kt, slots_new)
+        # A steady-state miss storm on a 100%-occupied ring used to let
+        # tombstones pile up toward the global rebuild bound, silently
+        # degrading every probe into a long tombstone walk.  Rebuild as
+        # soon as dead buckets outnumber live ones, which keeps the
+        # table's effective load factor <= ~0.5 at any occupancy.
+        if self._tombs > max(self._used, 1):
+            self._rebuild_table()
         _poke("cache.corrupt", cache=self)
         if self._timer:
             self._timer("cache_store", time.perf_counter() - start)
+
+    def _evicted(self, slots: np.ndarray) -> None:
+        """Surface displaced resident entries (count + demotion callback)."""
+        if not len(slots):
+            return
+        self.evictions += int(len(slots))
+        if self.on_evict is not None:
+            self.on_evict(
+                self._slot_nodes[slots].copy(),
+                self._slot_times[slots].copy(),
+                self._values[slots].copy(),
+            )
 
     def clear(self) -> None:
         """Drop all entries and reset hit statistics."""
@@ -203,10 +328,22 @@ class NodeTimeCache:
         self._tombs = 0
         self.hits = 0
         self.lookups = 0
+        self.evictions = 0
+        self._tick = 0
+        self._last_access = None
+        self._gap = None
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.lookups = 0
+        self.evictions = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes held by stored rows (0 before the first store)."""
+        if self._values is None or self.dim is None:
+            return 0
+        return int(self._nslots) * int(self.dim) * 4
 
     def validate(self) -> list:
         """Self-check table integrity; returns violations (empty = ok).
@@ -247,6 +384,9 @@ class NodeTimeCache:
             self._slot_nodes = np.zeros(self.capacity, dtype=np.int64)
             self._slot_times = np.zeros(self.capacity, dtype=np.float64)
             self._table = np.full(self._nbuckets, _EMPTY, dtype=np.int64)
+            if self.policy == "reuse":
+                self._last_access = np.zeros(self.capacity, dtype=np.int64)
+                self._gap = np.full(self.capacity, float(self.capacity))
         elif dim != self.dim:
             raise ValueError(f"stored rows have dim {self.dim}, got {dim}")
 

@@ -1,22 +1,17 @@
-"""Embedding memoization operator (the TGOpt ``cache()`` optimization).
+"""Deprecated front-end of the embedding memoization operator.
 
-Previously computed time-aware embeddings can be reused as long as the
-model parameters have not changed, because an embedding is a pure function
-of the (node, time) pair and the (frozen) weights.  ``cache()`` therefore
-only engages in inference mode (``ctx.training`` false); during training it
-is an inexpensive no-op, matching how the paper's models enable it only for
-inference.
-
-The operator looks up each destination pair in the context's per-layer
-cache, shrinks the block to the misses, and registers a hook that merges
-computed miss rows with cached hit rows (and stores the new rows).
+The TGOpt-style ``cache()`` optimization now lives in
+:func:`repro.store.ops.memoize`, where lookups resolve through the full
+tiered feature store (hot ring -> pinned staging -> cold spill) instead
+of one flat cache.  This module is a thin deprecation shim kept for the
+historical ``tg.op.cache(ctx, block)`` spelling.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from ...tensor import Tensor, index_put
+from ...store import ops as _store_ops
 from ..block import TBlock
 from ..context import TContext
 
@@ -24,46 +19,15 @@ __all__ = ["cache"]
 
 
 def cache(ctx: TContext, block: TBlock, layer: int = None) -> TBlock:
-    """Filter a block's destinations to cache misses, in place.
+    """Deprecated: use :func:`repro.store.ops.memoize` instead.
 
-    Args:
-        ctx: context owning the embedding caches.
-        block: target block (before sampling).
-        layer: cache namespace; defaults to the block's layer id.
-
-    Returns the block (mutated in place when there are cache hits).
+    Filters a block's destinations to embedding-cache misses, in place,
+    by delegating to the tiered store (space ``'embed:<layer>'``).
     """
-    if ctx.training:
-        return block
-    if ctx.is_degraded("kernel.cache"):
-        # Repeated cache-kernel faults downgraded this context to the
-        # uncached path: skip memoization entirely (results unchanged,
-        # recomputation cost returns; visible via ctx.stats().degraded).
-        return block
-    if block.has_nbrs:
-        raise RuntimeError("cache must be applied before sampling neighbors")
-    store = ctx.embed_cache(block.layer_id if layer is None else layer)
-    nodes, times = block.dstnodes, block.dsttimes
-    hit_mask, hit_rows = store.lookup(nodes, times)
-    num_hits = int(hit_mask.sum())
-
-    if num_hits == 0:
-        def store_hook(blk: TBlock, output: Tensor) -> Tensor:
-            store.store(nodes, times, output.data)
-            return output
-
-        block.register_hook(store_hook)
-        return block
-
-    miss_idx = np.flatnonzero(~hit_mask)
-    miss_nodes = nodes[miss_idx]
-    miss_times = times[miss_idx]
-    block.set_dst(miss_nodes, miss_times)
-
-    def merge_hook(blk: TBlock, output: Tensor) -> Tensor:
-        store.store(miss_nodes, miss_times, output.data)
-        full = Tensor(hit_rows.astype(output.data.dtype, copy=True), device=output.device)
-        return index_put(full, miss_idx, output)
-
-    block.register_hook(merge_hook)
-    return block
+    warnings.warn(
+        "op.cache() is deprecated; use repro.store.ops.memoize(ctx, block, "
+        "layer) — same semantics, resolved through the tiered FeatureStore",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _store_ops.memoize(ctx, block, layer)

@@ -1,50 +1,28 @@
-"""Preload operator: batched, pinned-memory data movement for a block chain.
+"""Deprecated front-end of the block-chain preload operator.
 
-During CPU-to-GPU training, feature/memory/mail rows are gathered on the
-host and copied to the device for every block of every batch.  ``preload()``
-walks the linked list from *head* to tail and stages each block's data into
-the context's pre-allocated pinned-memory pool before transferring, so the
-(simulated) DMA engine runs at pinned bandwidth instead of pageable
-bandwidth.  Loaded tensors land in each block's cache, making subsequent
-``dstfeat()``/``srcfeat()``/``efeat()``/``mem_data()``/``mail()`` calls free.
-
-When everything already resides on the device, the operator is a cheap
-no-op (the paper's all-on-GPU case).
+The pinned-memory preload now lives in :func:`repro.store.ops.preload`
+(same walk, staging through the store's shared
+:class:`~repro.store.tiers.PinnedPool`).  This module is a thin
+deprecation shim kept for the historical ``tg.op.preload(head)``
+spelling.
 """
 
 from __future__ import annotations
 
+import warnings
+
+from ...store import ops as _store_ops
 from ..block import TBlock
 
 __all__ = ["preload"]
 
 
 def preload(head: TBlock, use_pin: bool = True) -> TBlock:
-    """Load feature/memory/mail data for every block in the chain.
-
-    Args:
-        head: the first block of the chain (traversal follows ``next``).
-        use_pin: stage host rows through the pinned-memory pool.
-
-    Returns the head block.
-    """
-    blk = head
-    g = head.g
-    while blk is not None:
-        # Edge features feed the attention computation of every hop.
-        if g.efeat is not None and blk.has_nbrs:
-            blk.efeat(pin=use_pin)
-        if blk.next is None:
-            # Only the tail block consumes raw node features / memory /
-            # mail (inner hops receive computed embeddings from
-            # aggregate()), so loading them elsewhere would only waste
-            # transfer bandwidth.
-            if g.nfeat is not None:
-                # One combined gather covers dstfeat()/srcfeat()/nfeat().
-                blk.nfeat(pin=use_pin)
-            if g.mem is not None:
-                blk.mem_data(pin=use_pin)
-            if g.mailbox is not None:
-                blk.mail(pin=use_pin)
-        blk = blk.next
-    return head
+    """Deprecated: use :func:`repro.store.ops.preload` instead."""
+    warnings.warn(
+        "op.preload() is deprecated; use repro.store.ops.preload(head, "
+        "use_pin) — same semantics, staged through the store's pinned pool",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _store_ops.preload(head, use_pin)

@@ -17,11 +17,13 @@ __all__ = ["CacheLayerStats", "PinnedPoolStats", "LatencyStats", "ContextStats"]
 
 @dataclass(frozen=True)
 class CacheLayerStats:
-    """Hit statistics of one per-layer embedding cache."""
+    """Hit statistics of one per-layer embedding cache (its hot tier)."""
 
     hits: int
     lookups: int
     entries: int
+    #: resident entries displaced from the hot ring (demoted or dropped).
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -74,6 +76,10 @@ class ContextStats:
     kernel_faults: Dict[str, int] = field(default_factory=dict)
     #: per-request serving latency distribution; None before any request.
     latency: Optional[LatencyStats] = None
+    #: tiered feature-store snapshot (bytes moved per tier, prefetch
+    #: effectiveness, stall seconds); a
+    #: :class:`repro.store.api.StoreStats`, None when no store is wired.
+    store: Optional[object] = None
 
     @property
     def cache_hits(self) -> int:
@@ -114,4 +120,7 @@ class ContextStats:
         if self.latency is not None:
             flat["latency_p50"] = self.latency.p50
             flat["latency_p99"] = self.latency.p99
+        if self.store is not None:
+            for key, value in self.store.as_dict().items():
+                flat[f"store:{key}"] = value
         return flat

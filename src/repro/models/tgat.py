@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..core import TBatch, TContext, TSampler
 from ..core import op as tgop
+from ..store import ops as store_ops
 from ..nn import ModuleList
 from ..tensor import Tensor
 from .attention import TemporalAttnLayer
@@ -83,10 +84,10 @@ class TGAT(TGNNModel):
             if self.opt.dedup:
                 tail = tgop.dedup(tail)
             if self.opt.cache:
-                tail = tgop.cache(self.ctx, tail)
+                tail = store_ops.memoize(self.ctx, tail)
             tail = self.sampler.sample(tail)
         if self.opt.preload:
-            tgop.preload(head, use_pin=self.opt.pin_memory)
+            store_ops.preload(head, use_pin=self.opt.pin_memory)
         tail.dstdata["h"] = tail.dstfeat()
         tail.srcdata["h"] = tail.srcfeat()
         return tgop.aggregate(head, list(self.attn_layers), key="h")

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core import TBatch, TBlock, TContext, TSampler
 from ..core import op as tgop
+from ..store import ops as store_ops
 from ..nn import GRUCell, Linear, ModuleList, TimeEncode
 from ..tensor import Tensor, cat, no_grad
 from .attention import TemporalAttnLayer
@@ -134,7 +135,7 @@ class TGN(TGNNModel):
             # cached embeddings every batch (Appendix A of the paper).
             tail = self.sampler.sample(tail)
         if self.opt.preload:
-            tgop.preload(head, use_pin=self.opt.pin_memory)
+            store_ops.preload(head, use_pin=self.opt.pin_memory)
 
         mem = self.update_memory(tail)
         if self.feat_linear is not None:

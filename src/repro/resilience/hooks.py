@@ -27,7 +27,7 @@ site                 where                                       returns
 ``serve.poison``     ``serve.commit`` payload staging            ``None``
 ``disk.write``       ``durable.wal`` record append               directive
 ``disk.fsync``       ``durable.wal`` fsync                       directive
-``disk.read``        ``durable.wal`` record replay               directive
+``disk.read``        ``durable.wal`` replay / cold-tier read     directive
 ===================  ==========================================  =========
 
 A site either returns a value (crash/straggler queries, disk-corruption
@@ -59,7 +59,7 @@ SITES: Dict[str, str] = {
     "serve.poison": "serve.commit.StateCommitter.commit (staging)",
     "disk.write": "durable.wal.WriteAheadLog.append",
     "disk.fsync": "durable.wal.WriteAheadLog.sync",
-    "disk.read": "durable.wal segment replay",
+    "disk.read": "durable.wal segment replay / store.tiers.ColdTier.read",
 }
 
 _ACTIVE: Optional[Any] = None

@@ -155,6 +155,14 @@ class AdmissionController:
         """Dequeue the next admitted request (None when idle)."""
         return self._queue.popleft() if self._queue else None
 
+    def peek(self):
+        """The next request :meth:`poll` would return, without dequeuing.
+
+        Lets the runtime issue feature prefetches for the head of the
+        queue while the current request is still being served.
+        """
+        return self._queue[0] if self._queue else None
+
     def drain_shed(self) -> List:
         """Hand back and clear the requests shed since the last drain."""
         out, self.shed = self.shed, []

@@ -9,8 +9,9 @@ rung                  what is served
 ====================  =====================================================
 ``full``              full-fanout temporal attention neighborhood
 ``reduced``           same pipeline with the sampler fanout shrunk
-``cache``             embedding-cache rows (``op.cache`` tables); misses
-                      fall back to raw memory rows
+``cache``             embedding-cache rows (the FeatureStore's hot
+                      memoization tier); misses fall back to raw memory
+                      rows
 ``memory``            memory-only cold predictions (no sampling, no cache)
 ``timeout``           nothing — even the cheapest rung cannot make the
                       deadline; the request is answered with a shed status
@@ -66,15 +67,22 @@ class CostModel:
     fixed: float = 1.0e-4
     reference_penalty: float = 5.0
 
-    def estimate(self, level: str, n_events: int, ctx=None) -> float:
-        """Estimated simulated seconds to serve *n_events* at *level*."""
+    def estimate(self, level: str, n_events: int, ctx=None,
+                 fetch_seconds: float = 0.0) -> float:
+        """Estimated simulated seconds to serve *n_events* at *level*.
+
+        ``fetch_seconds`` is the modeled stall to gather this request's
+        feature rows from the tiered store (zero when everything is hot
+        or a prefetch already staged it).  Only the sampling rungs pay
+        it — they are the rungs that must touch raw features — so a
+        prefetch miss pushes the decision down to the ``cache`` rung,
+        which serves from already-resident embedding rows.
+        """
         cost = self.fixed + self.per_event[level] * n_events
-        if (
-            level in ("full", "reduced")
-            and ctx is not None
-            and ctx.is_degraded("kernel.sample")
-        ):
-            cost *= self.reference_penalty
+        if level in ("full", "reduced"):
+            cost += max(0.0, float(fetch_seconds))
+            if ctx is not None and ctx.is_degraded("kernel.sample"):
+                cost *= self.reference_penalty
         return cost
 
 
@@ -114,14 +122,23 @@ class DegradationLadder:
         return 0
 
     def decide(self, remaining_budget: float, n_events: int,
-               ctx=None) -> LadderDecision:
-        """Pick the least-degraded affordable rung for one request."""
+               ctx=None, fetch_seconds: float = 0.0) -> LadderDecision:
+        """Pick the least-degraded affordable rung for one request.
+
+        ``fetch_seconds`` (the tiered store's modeled feature-gather
+        stall, see :meth:`CostModel.estimate`) inflates the sampling
+        rungs only, so an un-prefetched request maps to the
+        embedding-cache rung rather than blowing its deadline on a
+        cold-tier read.
+        """
         for level in LEVELS:
             if level == "cache" and ctx is not None and (
                 ctx.is_degraded("kernel.cache") or getattr(ctx, "cache_limit", 1) <= 0
             ):
                 continue  # no trustworthy cache tables to serve from
-            cost = self.cost_model.estimate(level, n_events, ctx)
+            cost = self.cost_model.estimate(
+                level, n_events, ctx, fetch_seconds=fetch_seconds
+            )
             if cost * self.headroom <= remaining_budget:
                 self.decisions[level] = self.decisions.get(level, 0) + 1
                 reason = "" if level == "full" else (

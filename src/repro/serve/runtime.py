@@ -100,6 +100,16 @@ class ServeRuntime:
         recover: replay ``durable_dir`` into memory/mailbox before
             serving (resuming a crashed runtime); recovery details land
             in :meth:`stats` under ``durable:recovered:*``.
+        feature_store: route the scoring-table gathers of the sampling
+            rungs through the context's tiered
+            :class:`~repro.store.tiered.TieredFeatureStore` — the
+            ladder then charges each request the store's modeled
+            feature-fetch stall (so un-prefetched requests degrade to
+            the embedding-cache rung instead of missing deadlines), the
+            head of the admission queue is prefetched while the current
+            request is served, and commits refresh any cached rows they
+            invalidated.  Off by default: the raw gather path is kept
+            bit-identical for runtimes that do not opt in.
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class ServeRuntime:
         durable_fsync: str = "batch",
         snapshot_every: Optional[int] = 256,
         recover: bool = False,
+        feature_store: bool = False,
     ):
         self.graph = graph
         self.ctx = ctx
@@ -159,6 +170,20 @@ class ServeRuntime:
             self.committer.committed_watermark = float(self._recovery["watermark"])
             self.ingest.watermark = max(
                 self.ingest.watermark, self.committer.committed_watermark
+            )
+        self.feature_store = None
+        if feature_store:
+            self.feature_store = ctx.store
+            # One timeline: prefetch ready-times are measured against the
+            # same simulated clock the ladder advances.
+            self.feature_store.clock = self.clock
+            # The source closure reads through _embed_rows(), so a model
+            # hot-swap automatically rebinds the authority; swap_model
+            # still evicts the cached tiers (their rows are stale).
+            self.feature_store.register_source(
+                "serve:model",
+                lambda nodes: self._embed_rows()[nodes],
+                dim=int(memory.data.data.shape[1]),
             )
         self.results: List[RequestResult] = []
         self._next_rid = 0
@@ -207,6 +232,10 @@ class ServeRuntime:
         cache = self.ctx.embed_cache(0)
         if cache.enabled:
             cache.clear()
+        if self.feature_store is not None:
+            # Cached tiers hold rows computed under the old table; the
+            # source closure already reads the new one.
+            self.feature_store.evict("serve:model")
         self.ctx.count("serve:model_swaps", 1)
         return self.model_version
 
@@ -256,8 +285,14 @@ class ServeRuntime:
             self.injector.advance(0, req.rid)
 
         remaining = req.deadline - self.clock.now()
-        decision = self.ladder.decide(remaining, len(req.batch), self.ctx)
+        fetch_seconds = self._estimate_fetch(req.batch)
+        decision = self.ladder.decide(
+            remaining, len(req.batch), self.ctx, fetch_seconds=fetch_seconds
+        )
         self.clock.advance(decision.estimated_cost)
+        # Overlap the next request's feature fetch with this one's
+        # service: by the time it is polled the rows are (often) staged.
+        self._prefetch_next()
 
         if decision.level == "timeout":
             scores, status, detail = None, "timeout", RejectReason.DEADLINE
@@ -324,6 +359,52 @@ class ServeRuntime:
         poisoned = self.ingest.stats.quarantined_total - before
         if poisoned:
             self.ctx.count("serve:quarantined", poisoned)
+        if self.feature_store is not None:
+            # The commit rewrote these nodes' memory rows; any copies
+            # cached in the store's tiers are stale now.
+            nodes = self._valid_nodes(released)
+            if len(nodes):
+                self.feature_store.refresh(nodes, "serve:model")
+
+    # ---- tiered feature store ----------------------------------------------------
+
+    def _valid_nodes(self, batch: EventBatch) -> np.ndarray:
+        """Deduplicated in-range node ids of *batch* (junk-safe)."""
+        if not len(batch):
+            return np.empty(0, dtype=np.int64)
+        nodes = np.concatenate([batch.src, batch.dst])
+        nodes = nodes[(nodes >= 0) & (nodes < self.graph.num_nodes)]
+        return np.unique(nodes).astype(np.int64, copy=False)
+
+    def _estimate_fetch(self, batch: EventBatch) -> float:
+        """Modeled stall to gather this request's scoring rows (0 opted out)."""
+        if self.feature_store is None:
+            return 0.0
+        nodes = self._valid_nodes(batch)
+        if not len(nodes):
+            return 0.0
+        return self.feature_store.estimate_fetch_seconds(
+            nodes, space="serve:model"
+        )
+
+    def _prefetch_next(self) -> None:
+        """Stage the queue head's scoring rows behind the current request."""
+        if self.feature_store is None:
+            return
+        nxt = self.admission.peek()
+        if nxt is None:
+            return
+        nodes = self._valid_nodes(nxt.batch)
+        if len(nodes):
+            self.feature_store.prefetch(nodes, space="serve:model")
+
+    def _gather_rows(self, nodes: np.ndarray) -> np.ndarray:
+        """Scoring-table rows, through the tiered store when opted in."""
+        if self.feature_store is not None:
+            return self.feature_store.get(
+                np.asarray(nodes, dtype=np.int64), space="serve:model"
+            )
+        return self._embed_rows()[nodes]
 
     def _score(self, batch: EventBatch, decision) -> np.ndarray:
         """Link-prediction scores for *batch* at the decided ladder rung.
@@ -367,12 +448,11 @@ class ServeRuntime:
         res = self.sampler.sample_arrays(
             self.graph.csr(), nodes, times, ctx=self.ctx, num_nbrs=fanout
         )
-        mem = self._embed_rows()
-        emb = mem[nodes].astype(np.float32).copy()
+        emb = self._gather_rows(nodes).astype(np.float32).copy()
         if len(res.srcnodes):
             agg = np.zeros_like(emb)
             counts = np.zeros(len(nodes), dtype=np.float32)
-            np.add.at(agg, res.dstindex, mem[res.srcnodes])
+            np.add.at(agg, res.dstindex, self._gather_rows(res.srcnodes))
             np.add.at(counts, res.dstindex, 1.0)
             hot = counts > 0
             emb[hot] = 0.5 * (emb[hot] + agg[hot] / counts[hot, None])
@@ -410,6 +490,11 @@ class ServeRuntime:
             )
         if self.store is not None:
             out.update({f"durable:{k}": v for k, v in self.store.stats().items()})
+        if self.feature_store is not None:
+            out.update({
+                f"store:{k}": v
+                for k, v in self.feature_store.stats().as_dict().items()
+            })
         for k, v in self._recovery.items():
             out[f"durable:recovered:{k}"] = v
         return out

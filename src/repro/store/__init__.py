@@ -1,0 +1,37 @@
+"""`repro.store`: the tiered feature store behind every cache front-end.
+
+Hierarchy (hottest first)::
+
+    hot (device-resident ring, reuse-distance eviction)
+      -> staging (pinned host rows: demotions + prefetched transfers)
+        -> cold (authoritative source array, or checksummed mmap spill)
+
+One implementation — :class:`TieredFeatureStore` — serves every
+front-end: ``TContext`` embedding caches, ``op.cache``/``op.preload``
+(now deprecation shims over :mod:`repro.store.ops`), the TGL baseline's
+feature gathers, the trainer (via :class:`BatchPipeline` sampler
+lookahead), and the serving degradation ladder (via
+``estimate_fetch_seconds``).  Bytes moved per tier and stall time
+saved by async prefetch are first-class outputs (``store.stats()``,
+``ctx.stats().store``, benchmark tables).
+"""
+
+from .api import FeatureStore, StoreClock, StoreConfig, StoreStats, TierStats
+from .prefetch import BatchPipeline
+from .tiered import TieredFeatureStore
+from .tiers import ColdTier, PinnedPool, SourceTier
+from . import ops
+
+__all__ = [
+    "FeatureStore",
+    "StoreClock",
+    "StoreConfig",
+    "StoreStats",
+    "TierStats",
+    "TieredFeatureStore",
+    "BatchPipeline",
+    "ColdTier",
+    "PinnedPool",
+    "SourceTier",
+    "ops",
+]

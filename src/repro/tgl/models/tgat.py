@@ -44,6 +44,9 @@ class TGLTGAT(Module):
         self.device = get_device(device)
         self.num_layers = num_layers
         self.sampler = TGLSampler(g, num_nbrs, sampling)
+        #: optional TieredFeatureStore routing the eager feature loads
+        #: (set by the harness; None keeps the plain pageable gathers).
+        self.feature_store = None
         layers = []
         for i in range(num_layers):
             layers.append(
@@ -66,10 +69,12 @@ class TGLTGAT(Module):
         mfgs = self.sampler.sample(self.device, batch.nodes(), batch.times(), self.num_layers)
         # Prepare inputs: raw features for the innermost hop's full padded
         # node set, edge features for every hop (all eagerly, pageable).
-        mfgs[0].load("h", self.g.nfeat, which="all")
+        mfgs[0].load("h", self.g.nfeat, which="all",
+                     feature_store=self.feature_store)
         if self.g.efeat is not None:
             for mfg in mfgs:
-                mfg.load_edges("f", self.g.efeat)
+                mfg.load_edges("f", self.g.efeat,
+                               feature_store=self.feature_store)
         h = None
         for i, mfg in enumerate(mfgs):
             h = self.layers[i](mfg)

@@ -238,6 +238,51 @@ class TestCacheEquivalence:
         assert hit.all()
 
 
+class TestMissStorm:
+    """Regression: a miss storm on a 100%-occupied ring let tombstones
+    pile up toward the global rebuild bound, degrading every probe into a
+    long tombstone walk.  The table must now rebuild as soon as dead
+    buckets outnumber live ones, and every displaced entry must be
+    surfaced through the eviction counter/callback."""
+
+    @pytest.mark.parametrize("policy", ["fifo", "reuse"])
+    def test_tombstones_stay_bounded_at_full_occupancy(self, policy):
+        cap = 32
+        evicted = []
+        cache = NodeTimeCache(
+            cap, policy=policy,
+            on_evict=lambda n, t, r: evicted.append(n.copy()),
+        )
+        zeros = np.zeros(cap)
+        cache.store(np.arange(cap, dtype=np.int64), zeros,
+                    np.ones((cap, 2), dtype=np.float32))
+        assert cache.num_entries == cap  # 100% occupancy
+        # Storm: 40 batches of entirely fresh keys, every store evicts.
+        for wave in range(40):
+            fresh = np.arange(1000 + cap * wave, 1000 + cap * (wave + 1),
+                              dtype=np.int64)
+            cache.store(fresh, zeros, np.ones((cap, 2), dtype=np.float32))
+            assert cache._tombs <= max(cache._used, 1)
+            assert cache.validate() == []
+        assert cache.num_entries == cap
+        assert cache.evictions == 40 * cap
+        assert sum(len(n) for n in evicted) == 40 * cap
+        # The final wave's keys are resident and resolvable.
+        hit, _ = cache.lookup(np.arange(1000 + cap * 39, 1000 + cap * 40,
+                                        dtype=np.int64), zeros)
+        assert hit.all()
+
+    def test_eviction_counter_matches_displacements(self):
+        cache = NodeTimeCache(4)
+        zeros = np.zeros(4)
+        cache.store(np.arange(4, dtype=np.int64), zeros,
+                    np.ones((4, 1), dtype=np.float32))
+        assert cache.evictions == 0  # filling empty slots displaces nothing
+        cache.store(np.arange(4, 8, dtype=np.int64), zeros,
+                    np.ones((4, 1), dtype=np.float32))
+        assert cache.evictions == 4
+
+
 class TestCacheDisabled:
     """Regression: TContext(cache_limit=0) crashed with ZeroDivisionError."""
 

@@ -1,0 +1,492 @@
+"""Tests for the tiered feature store (`repro.store`).
+
+Covers the tier hierarchy end to end — hot -> staging -> cold demotion,
+promotion back up, prefetch hit/miss/stall accounting on the simulated
+clock, eviction determinism, the ``disk.read`` fault-injection path of
+the cold spill tier — plus the legacy front-end shims (``cache_limit``,
+``op.cache`` / ``op.preload``) that must stay bit-identical through the
+store.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core as tg
+from repro.core import iter_batches
+from repro.core.kernels.cache import NodeTimeCache, _ReferenceNodeTimeCache
+from repro.core import op as tgop
+from repro.resilience import FaultInjector
+from repro.serve.deadline import CostModel, DegradationLadder
+from repro.store import StoreConfig, StoreStats, TieredFeatureStore
+from repro.store.api import FeatureStore, StoreClock
+from repro.store.prefetch import BatchPipeline, attach_graph_sources
+from repro.store.tiers import ColdTier, SourceTier
+
+
+def rows_for(nodes, dim=4):
+    """Deterministic distinct float32 rows keyed by node id."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    base = np.arange(dim, dtype=np.float32)
+    return (nodes[:, None].astype(np.float32) * 10.0 + base).astype(np.float32)
+
+
+def flat_store(**overrides):
+    """A store shaped like the legacy flat FIFO cache (no tiers below hot)."""
+    cfg = StoreConfig(hot_policy="fifo", staging_rows=0, prefetch_depth=0,
+                      **overrides)
+    return TieredFeatureStore(cfg)
+
+
+class TestProtocol:
+    def test_tiered_store_satisfies_protocol(self):
+        assert isinstance(TieredFeatureStore(), FeatureStore)
+
+    def test_store_clock_monotone(self):
+        clock = StoreClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_config_mb_budgets_resolve_to_rows(self):
+        cfg = StoreConfig(hot_mb=1.0)
+        # 1 MiB of dim-64 float32 rows = 4096 rows.
+        assert cfg.hot_rows(64) == 4096
+        assert cfg.hot_rows(None) == cfg.hot_capacity
+        assert cfg.with_overrides(hot_mb=None).hot_mb == 1.0
+        assert cfg.with_overrides(hot_mb=2.0).hot_mb == 2.0
+
+
+class TestDemotionChain:
+    """Hot -> staging -> cold, with promotion back up on lookup."""
+
+    def make_store(self, tmp_path, hot=4, staging=4):
+        cfg = StoreConfig(hot_capacity=hot, hot_policy="fifo",
+                          staging_rows=staging, cold_dir=str(tmp_path),
+                          prefetch_depth=1)
+        return TieredFeatureStore(cfg)
+
+    def fill(self, store, n, space="embed:0"):
+        for node in range(n):
+            store.put(np.array([node]), None, rows_for([node]), space=space)
+
+    def test_rows_cascade_down_the_tiers(self, tmp_path):
+        store = self.make_store(tmp_path)
+        self.fill(store, 12)
+        st = store.stats()
+        # 12 puts through a 4-row hot ring displace 8 into staging; the
+        # 4-row staging ring spills its own overflow into the cold tier.
+        assert st.tiers["hot"].evictions == 8
+        assert st.tiers["staging"].demotions == 8
+        assert st.tiers["staging"].evictions == 4
+        assert st.tiers["cold"].demotions == 4
+        sp = store.space("embed:0")
+        assert isinstance(sp.cold, ColdTier)
+        assert sp.cold.num_entries == 4
+
+    def test_every_row_survives_the_cascade_bit_identical(self, tmp_path):
+        store = self.make_store(tmp_path)
+        self.fill(store, 12)
+        nodes = np.arange(12, dtype=np.int64)
+        found, got = store.lookup(nodes, None, space="embed:0")
+        assert found.all()
+        np.testing.assert_array_equal(got, rows_for(nodes))
+
+    def test_cold_lookup_promotes_back_into_hot(self, tmp_path):
+        store = self.make_store(tmp_path)
+        self.fill(store, 12)
+        sp = store.space("embed:0")
+        assert not sp.hot.contains(np.array([0]), np.array([0.0]))[0]
+        store.lookup(np.array([0]), None, space="embed:0")
+        assert sp.hot.contains(np.array([0]), np.array([0.0]))[0]
+        st = store.stats()
+        assert st.tiers["cold"].hits >= 1
+        assert st.tiers["cold"].bytes_out > 0
+
+    def test_cold_tier_is_a_real_mmap_file(self, tmp_path):
+        store = self.make_store(tmp_path)
+        self.fill(store, 12)
+        path = store.space("embed:0").cold.path
+        assert path is not None and os.path.exists(path)
+        assert os.path.getsize(path) > 0
+        assert path.startswith(str(tmp_path))
+
+    def test_without_cold_dir_spilled_rows_drop(self):
+        cfg = StoreConfig(hot_capacity=2, hot_policy="fifo", staging_rows=2,
+                          cold_dir=None, prefetch_depth=0)
+        store = TieredFeatureStore(cfg)
+        for node in range(6):
+            store.put(np.array([node]), None, rows_for([node]), space="embed:0")
+        found, _ = store.lookup(np.arange(6), None, space="embed:0")
+        # Hot keeps {4,5}, staging {2,3}; {0,1} are gone (recomputable).
+        assert found.sum() == 4
+        assert not found[:2].any()
+        with pytest.raises(KeyError):
+            store.get(np.arange(6), None, space="embed:0")
+
+    def test_bytes_moved_sums_tier_inflow(self, tmp_path):
+        store = self.make_store(tmp_path)
+        self.fill(store, 12)
+        st = store.stats()
+        assert st.bytes_moved == sum(t.bytes_in for t in st.tiers.values())
+        assert st.bytes_moved > 0
+
+    def test_source_backed_space_never_spills(self, tmp_path):
+        store = self.make_store(tmp_path, hot=2, staging=2)
+        table = rows_for(np.arange(20))
+        store.register_source("nfeat", table)
+        for node in range(8):
+            store.get(np.array([node]), None, space="nfeat")
+        sp = store.space("nfeat")
+        # The authority already holds every row: demotions out of staging
+        # must not create a spill file.
+        assert isinstance(sp.cold, SourceTier)
+        assert store.stats().tiers["cold"].demotions == 0
+
+
+class TestPrefetchAccounting:
+    def make_store(self):
+        cfg = StoreConfig(hot_capacity=64, staging_rows=64, prefetch_depth=1)
+        store = TieredFeatureStore(cfg)
+        store.register_source("nfeat", rows_for(np.arange(50)))
+        return store
+
+    def test_issued_counts_fresh_keys_only(self):
+        store = self.make_store()
+        nodes = np.array([1, 2, 3], dtype=np.int64)
+        assert store.prefetch(nodes, None, space="nfeat") == 3
+        # Already in flight / staged: nothing new to issue.
+        assert store.prefetch(nodes, None, space="nfeat") == 0
+        assert store.stats().prefetch_issued == 3
+
+    def test_consumed_after_ready_is_a_hit_and_saves_stall(self):
+        store = self.make_store()
+        nodes = np.array([1, 2, 3], dtype=np.int64)
+        store.prefetch(nodes, None, space="nfeat")
+        store.clock.advance(10.0)  # transfers long complete
+        found, got = store.lookup(nodes, None, space="nfeat")
+        assert found.all()
+        np.testing.assert_array_equal(got, rows_for(nodes))
+        st = store.stats()
+        assert st.prefetch_hits == 3
+        assert st.prefetch_late == 0
+        assert st.stall_saved_seconds > 0.0
+        assert 0.0 < st.stall_recovered_fraction <= 1.0
+
+    def test_consumed_before_ready_is_late(self):
+        store = self.make_store()
+        nodes = np.array([4, 5], dtype=np.int64)
+        store.prefetch(nodes, None, space="nfeat")
+        found, _ = store.lookup(nodes, None, space="nfeat")  # clock unmoved
+        assert found.all()
+        st = store.stats()
+        assert st.prefetch_late == 2
+        assert st.prefetch_hits == 0
+
+    def test_demand_read_stalls_prefetched_read_does_not(self):
+        cold = self.make_store()
+        cold.get(np.array([7]), None, space="nfeat")
+        demand_stall = cold.stats().stall_seconds
+        warm = self.make_store()
+        warm.prefetch(np.array([7]), None, space="nfeat")
+        warm.clock.advance(10.0)
+        warm.get(np.array([7]), None, space="nfeat")
+        warm_stall = warm.stats().stall_seconds
+        assert demand_stall > warm_stall > 0.0
+
+    def test_prefetch_depth_zero_disables(self):
+        cfg = StoreConfig(prefetch_depth=0)
+        store = TieredFeatureStore(cfg)
+        store.register_source("nfeat", rows_for(np.arange(10)))
+        assert store.prefetch(np.array([1, 2]), None, space="nfeat") == 0
+        assert store.stats().prefetch_issued == 0
+
+    def test_evicting_inflight_rows_counts_unused(self):
+        store = self.make_store()
+        store.prefetch(np.array([1, 2, 3]), None, space="nfeat")
+        store.evict("nfeat")
+        assert store.stats().prefetch_unused == 3
+
+    def test_estimate_fetch_seconds_is_side_effect_free(self):
+        store = self.make_store()
+        store.get(np.array([1]), None, space="nfeat")
+        before = store.stats().as_dict()
+        nodes = np.array([1, 2, 3], dtype=np.int64)
+        est1 = store.estimate_fetch_seconds(nodes, space="nfeat")
+        est2 = store.estimate_fetch_seconds(nodes, space="nfeat")
+        assert est1 == est2 > 0.0  # two cold keys -> nonzero stall
+        assert store.stats().as_dict() == before
+        # All-hot working sets cost nothing.
+        assert store.estimate_fetch_seconds(np.array([1]), space="nfeat") == 0.0
+
+
+class TestRefreshAndRebind:
+    def test_refresh_overwrites_resident_rows(self):
+        table = rows_for(np.arange(10)).copy()
+        store = TieredFeatureStore(StoreConfig(prefetch_depth=0))
+        store.register_source("mem", table)
+        nodes = np.array([2, 3], dtype=np.int64)
+        store.get(nodes, None, space="mem")  # now hot
+        table[2] = 99.0
+        assert store.refresh(nodes, "mem") >= 1
+        got = store.get(np.array([2]), None, space="mem")
+        np.testing.assert_array_equal(got[0], np.full(4, 99.0, np.float32))
+
+    def test_rebind_source_drops_cached_tiers(self):
+        store = TieredFeatureStore(StoreConfig(prefetch_depth=0))
+        store.register_source("mem", rows_for(np.arange(10)))
+        store.get(np.array([1]), None, space="mem")
+        fresh = rows_for(np.arange(10)) + 1.0
+        store.rebind_source("mem", fresh)
+        got = store.get(np.array([1]), None, space="mem")
+        np.testing.assert_array_equal(got, fresh[1:2])
+
+    def test_rebind_non_source_space_rejected(self):
+        store = TieredFeatureStore()
+        store.put(np.array([0]), None, rows_for([0]), space="embed:0")
+        with pytest.raises(ValueError):
+            store.rebind_source("embed:0", rows_for(np.arange(4)))
+
+
+class TestEvictionDeterminism:
+    """The reuse-distance policy must replay identically for a fixed seed."""
+
+    def run_workload(self, seed):
+        evicted = []
+        cache = NodeTimeCache(
+            16, policy="reuse",
+            on_evict=lambda n, t, r: evicted.append((n.copy(), t.copy(), r.copy())),
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            nodes = rng.integers(0, 64, size=8)
+            times = np.zeros(8)
+            if rng.random() < 0.5:
+                cache.store(nodes, times, rows_for(nodes))
+            else:
+                cache.lookup(nodes, times)
+        return cache, evicted
+
+    def test_same_seed_same_eviction_sequence(self):
+        c1, ev1 = self.run_workload(seed=7)
+        c2, ev2 = self.run_workload(seed=7)
+        assert len(ev1) == len(ev2) > 0
+        for (n1, t1, r1), (n2, t2, r2) in zip(ev1, ev2):
+            np.testing.assert_array_equal(n1, n2)
+            np.testing.assert_array_equal(t1, t2)
+            np.testing.assert_array_equal(r1, r2)
+        assert c1.evictions == c2.evictions
+        assert c1.validate() == [] and c2.validate() == []
+
+    def test_reuse_policy_keeps_hot_keys_over_scanned_ones(self):
+        cache = NodeTimeCache(8, policy="reuse")
+        hot = np.arange(4, dtype=np.int64)
+        zeros = np.zeros(4)
+        cache.store(hot, zeros, rows_for(hot))
+        for _ in range(6):  # short, stable reuse gap
+            cache.lookup(hot, zeros)
+        for wave in range(10):  # one-touch scan traffic
+            scan = np.arange(100 + 4 * wave, 104 + 4 * wave, dtype=np.int64)
+            cache.store(scan, np.zeros(4), rows_for(scan))
+        assert cache.contains(hot, zeros).all()
+
+
+class TestColdTierFaults:
+    """The ``disk.read`` injection site: corruption detected and repaired."""
+
+    def write_rows(self, tmp_path, n=6):
+        ct = ColdTier(4, directory=str(tmp_path), space="t")
+        nodes = np.arange(n, dtype=np.int64)
+        times = np.zeros(n)
+        ct.write(nodes, times, rows_for(nodes))
+        return ct, nodes, times
+
+    def test_injected_flip_repaired_and_counted(self, tmp_path):
+        ct, nodes, times = self.write_rows(tmp_path)
+        inj = FaultInjector(seed=11, disk_flip_read_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            got = ct.read(nodes, times)
+        np.testing.assert_array_equal(got, rows_for(nodes))
+        assert ct.faults == 1
+
+    def test_clean_read_counts_no_faults(self, tmp_path):
+        ct, nodes, times = self.write_rows(tmp_path)
+        np.testing.assert_array_equal(ct.read(nodes, times), rows_for(nodes))
+        assert ct.faults == 0
+
+    def test_absent_keys_raise(self, tmp_path):
+        ct, _, _ = self.write_rows(tmp_path, n=2)
+        with pytest.raises(KeyError):
+            ct.read(np.array([99]), np.zeros(1))
+
+    def test_store_surfaces_cold_faults_in_stats(self, tmp_path):
+        cfg = StoreConfig(hot_capacity=2, hot_policy="fifo", staging_rows=2,
+                          cold_dir=str(tmp_path), prefetch_depth=0)
+        store = TieredFeatureStore(cfg)
+        for node in range(6):
+            store.put(np.array([node]), None, rows_for([node]), space="embed:0")
+        inj = FaultInjector(seed=11, disk_flip_read_batches=[(0, 0)])
+        with inj:
+            inj.advance(0, 0)
+            found, got = store.lookup(np.array([0]), None, space="embed:0")
+        assert found.all()
+        np.testing.assert_array_equal(got, rows_for([0]))
+        assert store.stats().tiers["cold"].faults == 1
+
+
+class TestLegacyShims:
+    """Deprecated front-ends warn and stay bit-identical through the store."""
+
+    def test_cache_limit_warns_and_pins_flat_fifo(self, tiny_graph):
+        with pytest.warns(DeprecationWarning, match="cache_limit"):
+            ctx = tg.TContext(tiny_graph, cache_limit=8)
+        assert ctx.cache_limit == 8
+        cfg = ctx.store.config
+        assert (cfg.hot_policy, cfg.staging_rows, cfg.prefetch_depth) == ("fifo", 0, 0)
+
+    def test_cache_limit_and_store_are_exclusive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                tg.TContext(tiny_graph, cache_limit=8, store=StoreConfig())
+
+    def test_op_cache_shim_warns(self, tiny_graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            ctx = tg.TContext(tiny_graph, cache_limit=8)
+        ctx.train(False)
+        blk = tg.TBlock(ctx, 0, np.array([0, 1]), np.ones(2))
+        with pytest.warns(DeprecationWarning, match="memoize"):
+            tgop.cache(ctx, blk)
+
+    def test_flat_store_matches_reference_cache_bit_for_bit(self):
+        """The legacy entry points' store shape == the loop reference."""
+        store = flat_store(hot_capacity=8)
+        ref = _ReferenceNodeTimeCache(8)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            nodes = rng.integers(0, 24, size=6)
+            times = rng.integers(0, 4, size=6).astype(np.float64)
+            if rng.random() < 0.5:
+                vals = rows_for(nodes) + times[:, None].astype(np.float32)
+                store.put(nodes, times, vals, space="embed:0")
+                ref.store(nodes, times, vals)
+            else:
+                got_hit, got_rows = store.lookup(nodes, times, space="embed:0")
+                want_hit, want_rows = ref.lookup(nodes, times)
+                np.testing.assert_array_equal(got_hit, want_hit)
+                if want_rows is not None:
+                    np.testing.assert_array_equal(
+                        got_rows[want_hit], want_rows[want_hit])
+
+
+class TestServeFetchPenalty:
+    """The ladder prices prefetch misses into the sampling rungs only."""
+
+    def test_only_sampling_rungs_pay_the_fetch(self):
+        cm = CostModel()
+        for level in ("full", "reduced"):
+            base = cm.estimate(level, 100)
+            assert cm.estimate(level, 100, fetch_seconds=0.5) == base + 0.5
+        for level in ("cache", "memory"):
+            base = cm.estimate(level, 100)
+            assert cm.estimate(level, 100, fetch_seconds=0.5) == base
+
+    def test_fetch_penalty_pushes_decision_down_to_cache_rung(self):
+        ladder = DegradationLadder()
+        without = ladder.decide(0.02, 100)
+        assert without.level == "full"
+        with_fetch = ladder.decide(0.02, 100, fetch_seconds=0.05)
+        assert with_fetch.level == "cache"
+
+
+class TestBatchPipeline:
+    def make_graph(self, num_nodes=30, num_edges=120, dim=8, seed=5):
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, num_nodes, size=num_edges)
+        dst = rng.integers(0, num_nodes, size=num_edges)
+        ts = np.sort(rng.uniform(0, 100, size=num_edges))
+        g = tg.TGraph(src, dst, ts, num_nodes=num_nodes)
+        g.set_nfeat(rng.standard_normal((num_nodes, dim)).astype(np.float32))
+        return g
+
+    def make_pipeline(self, g, **overrides):
+        kwargs = dict(prefetch_depth=1, compute_seconds_per_row=1e-3)
+        kwargs.update(overrides)
+        cfg = StoreConfig(**kwargs)
+        store = TieredFeatureStore(cfg)
+        spaces = attach_graph_sources(store, g)
+        assert spaces == ("nfeat",)
+        return store, BatchPipeline(store, g)
+
+    def test_yields_the_same_batches(self):
+        g = self.make_graph()
+        store, pipeline = self.make_pipeline(g)
+        plain = list(iter_batches(g, 32))
+        piped = list(pipeline.batches(iter_batches(g, 32)))
+        assert len(piped) == len(plain)
+        for a, b in zip(piped, plain):
+            np.testing.assert_array_equal(a.src, b.src)
+            np.testing.assert_array_equal(a.dst, b.dst)
+            np.testing.assert_array_equal(a.ts, b.ts)
+
+    def test_lookahead_recovers_stall(self):
+        g = self.make_graph()
+        store, pipeline = self.make_pipeline(g)
+        for _ in pipeline.batches(iter_batches(g, 32)):
+            pass
+        st = store.stats()
+        assert st.prefetch_issued > 0
+        assert st.prefetch_hits > 0
+        # Batch N's modeled compute hides batch N+1's transfers.
+        assert st.stall_saved_seconds > 0.0
+        assert st.stall_recovered_fraction > 0.0
+
+    def test_depth_zero_still_consumes_but_never_prefetches(self):
+        g = self.make_graph()
+        store, pipeline = self.make_pipeline(g, prefetch_depth=0)
+        n = len(list(pipeline.batches(iter_batches(g, 32))))
+        assert n == len(list(iter_batches(g, 32)))
+        st = store.stats()
+        assert st.prefetch_issued == 0
+        assert st.stall_saved_seconds == 0.0
+        assert st.stall_seconds > 0.0  # demand gathers still modeled
+
+    def test_attach_graph_sources_registers_memory(self):
+        g = self.make_graph()
+        g.set_memory(6)
+        store = TieredFeatureStore()
+        assert attach_graph_sources(store, g) == ("nfeat", "mem")
+
+
+class TestStatsSurface:
+    def test_stats_snapshot_is_detached(self):
+        store = TieredFeatureStore(StoreConfig(prefetch_depth=0))
+        store.register_source("nfeat", rows_for(np.arange(8)))
+        store.get(np.arange(4), None, space="nfeat")
+        snap = store.stats()
+        store.get(np.arange(4, 8), None, space="nfeat")
+        assert store.stats().tiers["hot"].misses > snap.tiers["hot"].misses
+
+    def test_reset_stats_zeroes_counters_keeps_rows(self):
+        store = TieredFeatureStore(StoreConfig(prefetch_depth=0))
+        store.register_source("nfeat", rows_for(np.arange(8)))
+        store.get(np.arange(4), None, space="nfeat")
+        store.reset_stats()
+        st = store.stats()
+        assert st.bytes_moved == 0 and st.stall_seconds == 0.0
+        found, _ = store.lookup(np.arange(4), None, space="nfeat")
+        assert found.all()  # rows survived the counter reset
+
+    def test_context_stats_carry_the_store_block(self, tiny_graph):
+        ctx = tg.TContext(tiny_graph)
+        assert isinstance(ctx.stats().store, StoreStats)
+        flat = ctx.stats().store.as_dict()
+        for key in ("hot:bytes_in", "staging:bytes_in", "cold:bytes_in",
+                    "prefetch_issued", "stall_seconds", "stall_saved_seconds"):
+            assert key in flat
