@@ -22,6 +22,13 @@ frozen vs continual (train-on-serve-log) models (:mod:`repro.scenarios`)::
 
     python -m repro.bench scenarios --list
     python -m repro.bench scenarios --matrix --events 1200 --output drift.txt
+
+A ``serve-cluster`` subcommand replays the same streams through the
+sharded, failure-tolerant serving cluster (:mod:`repro.cluster`)::
+
+    python -m repro.bench serve-cluster --shards 4 --chaos
+    python -m repro.bench serve-cluster --shards 8 --kill-shard 2 \
+        --check-equivalence --assert-valid
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import sys
 from typing import List, Optional
 
 from ..data import available_datasets, get_dataset
+from .cluster_cli import build_serve_cluster_parser, serve_cluster_main
 from .experiments import FRAMEWORKS, MODELS, Experiment, ExperimentConfig
 from .scenario_cli import (
     add_store_flags,
@@ -41,7 +49,8 @@ from .scenario_cli import (
 )
 
 __all__ = ["main", "build_parser", "build_serve_parser", "serve_main",
-           "build_scenarios_parser", "scenarios_main"]
+           "build_scenarios_parser", "scenarios_main",
+           "build_serve_cluster_parser", "serve_cluster_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,6 +282,8 @@ def _print_datasets() -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "serve-cluster":
+        return serve_cluster_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "scenarios":

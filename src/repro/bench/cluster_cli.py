@@ -1,0 +1,206 @@
+"""``python -m repro.bench serve-cluster``: sharded serving under chaos.
+
+Replays an event stream through a :class:`~repro.cluster.ServeCluster`
+at a chosen offered load, optionally arming the shard-level fault sites
+(``--chaos`` kills and stalls shards and drops RPC legs/heartbeats
+mid-stream), and prints per-shard plus cluster-level statistics:
+failovers, retries, hedge wins, rebalance events, and p50/p99 latency.
+
+``--check-equivalence`` additionally replays the same stream through a
+clean single :class:`~repro.serve.runtime.ServeRuntime` and requires the
+cluster's assembled final ``Memory``/``Mailbox`` state to be
+bit-identical — the cluster-level recovery guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..data import available_datasets, get_dataset
+
+__all__ = ["build_serve_cluster_parser", "serve_cluster_main"]
+
+
+def build_serve_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench serve-cluster",
+        description="Replay an event stream through the sharded serving cluster.",
+    )
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of shard replicas")
+    parser.add_argument("--partition", choices=("hash", "temporal"),
+                        default="hash", help="node partitioning policy")
+    parser.add_argument("--dataset", choices=available_datasets(), default=None,
+                        help="serve a real dataset's event stream "
+                             "(default: synthetic)")
+    parser.add_argument("--events", type=int, default=2000,
+                        help="synthetic stream length (ignored with --dataset)")
+    parser.add_argument("--num-nodes", type=int, default=200,
+                        help="synthetic graph size (ignored with --dataset)")
+    parser.add_argument("--payload-dim", type=int, default=16)
+    parser.add_argument("--dim-mem", type=int, default=16)
+    parser.add_argument("--batch-size", type=int, default=50,
+                        help="events per serving request")
+    parser.add_argument("--load", type=float, default=1.0,
+                        help="offered load as a multiple of the full-quality "
+                             "service rate (16 = heavy overload)")
+    parser.add_argument("--deadline", type=float, default=2e-2,
+                        help="per-request budget in simulated seconds")
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--shed-policy", choices=("reject-new", "drop-oldest"),
+                        default="reject-new")
+    parser.add_argument("--num-nbrs", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--mailbox-slots", type=int, default=1)
+    parser.add_argument("--durable-root", default=None,
+                        help="root directory for the per-shard WALs "
+                             "(default: a private temp dir)")
+    parser.add_argument("--fsync", choices=("always", "batch", "never"),
+                        default="batch")
+    parser.add_argument("--snapshot-every", type=int, default=64,
+                        help="applied batches between per-shard snapshots")
+    parser.add_argument("--heartbeat-interval", type=float, default=5e-3)
+    parser.add_argument("--hedge-delay", type=float, default=6e-4,
+                        help="hedged-send delay in seconds (<0 disables)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="arm the shard fault sites: shard kills + "
+                             "stalls, RPC drops, heartbeat loss")
+    parser.add_argument("--kill-shard", type=int, default=None, metavar="S",
+                        help="deterministically kill shard S mid-stream "
+                             "(at the request 1/3 into the replay)")
+    parser.add_argument("--stall-shard", type=int, default=None, metavar="S",
+                        help="deterministically stall shard S mid-stream")
+    parser.add_argument("--check-equivalence", action="store_true",
+                        help="also replay through a clean single runtime and "
+                             "require bit-identical final state (runs the "
+                             "cluster shed-free)")
+    parser.add_argument("--assert-valid", action="store_true",
+                        help="exit nonzero on violated invariants")
+    return parser
+
+
+def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
+    import numpy as np
+
+    from ..cluster import ClusterConfig, ServeCluster
+    from ..core import Mailbox, Memory, TContext, TGraph, TSampler
+    from ..resilience import FaultInjector
+    from ..serve import ServeRuntime, build_stream, replay, split_batches
+    from ..serve.events import EventBatch
+
+    args = build_serve_cluster_parser().parse_args(argv)
+
+    if args.dataset is not None:
+        d = get_dataset(args.dataset)
+        payload = d.efeat[:, : args.payload_dim] if d.efeat is not None else None
+        stream = EventBatch(np.arange(d.num_edges), d.src, d.dst, d.ts, payload)
+        num_nodes = d.num_nodes
+    else:
+        stream = build_stream(args.num_nodes, args.events,
+                              payload_dim=args.payload_dim, seed=args.seed)
+        num_nodes = args.num_nodes
+    batches = split_batches(stream, args.batch_size)
+
+    reliable = args.check_equivalence
+    config = ClusterConfig(
+        num_shards=args.shards,
+        partition=args.partition,
+        seed=args.seed,
+        hedge_delay=None if args.hedge_delay < 0 else args.hedge_delay,
+        heartbeat_interval=args.heartbeat_interval,
+        durable_root=args.durable_root,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+    )
+
+    injector = None
+    schedules = {}
+    if args.kill_shard is not None:
+        schedules.setdefault("shard_crashes", set()).add(
+            (0, max(1, len(batches) // 3), args.kill_shard)
+        )
+    if args.stall_shard is not None:
+        schedules.setdefault("shard_stalls", set()).add(
+            (0, max(1, len(batches) // 4), args.stall_shard)
+        )
+    if args.chaos or schedules:
+        injector = FaultInjector(
+            seed=args.seed,
+            rpc_send_drop_rate=0.03 if args.chaos else 0.0,
+            rpc_recv_drop_rate=0.03 if args.chaos else 0.0,
+            shard_crash_rate=0.002 if args.chaos else 0.0,
+            shard_stall_rate=0.01 if args.chaos else 0.0,
+            heartbeat_drop_rate=0.02 if args.chaos else 0.0,
+            shard_crashes=schedules.get("shard_crashes", ()),
+            shard_stalls=schedules.get("shard_stalls", ()),
+        )
+
+    g = TGraph(stream.src, stream.dst, stream.ts, num_nodes=num_nodes)
+    ctx = TContext(g)
+    cluster = ServeCluster(
+        g, ctx, TSampler(args.num_nbrs, seed=args.seed), args.dim_mem,
+        config=config, mailbox_slots=args.mailbox_slots,
+        deadline=1e9 if reliable else args.deadline,
+        max_queue=1 << 30 if reliable else args.max_queue,
+        shed_policy=args.shed_policy,
+        injector=injector, stream=stream,
+    )
+
+    print(f"replaying {len(stream)} events in {len(batches)} requests "
+          f"over {args.shards} shards ({args.partition}) at {args.load:g}x load")
+    if injector is not None:
+        with injector:
+            results = replay(cluster, batches, load=args.load)
+    else:
+        results = replay(cluster, batches, load=args.load)
+
+    statuses = {s: sum(1 for r in results if r.status == s)
+                for s in ("ok", "shed", "timeout")}
+    stats = cluster.stats()
+    for key in sorted(stats):
+        print(f"  {key:34s} {stats[key]}")
+    print(f"  statuses: ok={statuses['ok']} shed={statuses['shed']} "
+          f"timeout={statuses['timeout']}")
+    lat = ctx.stats().latency
+    if lat is not None:
+        print(f"  latency: p50={lat.p50:.4g}s p99={lat.p99:.4g}s (n={lat.count})")
+    if injector is not None:
+        print(f"  chaos: {len(injector.log)} faults fired")
+
+    failures = []
+    if args.check_equivalence:
+        data, times = cluster.memory_image()
+        mb_image = cluster.mailbox_image()
+        g2 = TGraph(stream.src, stream.dst, stream.ts, num_nodes=num_nodes)
+        ctx2 = TContext(g2)
+        mem = Memory(num_nodes, args.dim_mem)
+        mailbox = (Mailbox(num_nodes, args.dim_mem, slots=args.mailbox_slots)
+                   if args.mailbox_slots > 0 else None)
+        single = ServeRuntime(
+            g2, ctx2, mem, TSampler(args.num_nbrs, seed=args.seed),
+            mailbox=mailbox, deadline=1e9, max_queue=1 << 30,
+        )
+        replay(single, batches, load=args.load)
+        same = (np.array_equal(mem.data.data, data)
+                and np.array_equal(mem.time, times))
+        if mailbox is not None and mb_image is not None:
+            same = (same
+                    and np.array_equal(mailbox.mail.data, mb_image[0])
+                    and np.array_equal(mailbox.time, mb_image[1]))
+        print(f"  cluster/single-replica equivalence: "
+              f"{'bit-identical' if same else 'DIVERGED'}")
+        if not same:
+            failures.append(
+                "cluster final state diverged from clean single-replica replay"
+            )
+    cluster.close()
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1 if args.assert_valid else 0
+    if args.assert_valid:
+        print("  all cluster invariants hold")
+    return 0

@@ -1,0 +1,44 @@
+"""Fault-tolerant sharded serving on a deterministic simulated clock.
+
+The cluster layer partitions the serving state (``Memory`` / ``Mailbox``)
+across N shard replicas, each with its own write-ahead log, and keeps the
+whole thing serving through shard crashes, stalls, and lossy RPC:
+
+========================  ========================================================
+component                 role
+========================  ========================================================
+:class:`ShardRouter`      node -> shard assignment (hash / temporal-locality)
+:class:`ShardReplica`     one shard's state slice + private WAL + liveness
+:class:`SimRpc`           lossy RPC with timeout, retry, backoff, hedging
+:class:`Supervisor`       heartbeat failure detection, failover, rebalance
+:class:`ServeCluster`     coordinator mirroring the ``ServeRuntime`` surface
+========================  ========================================================
+
+All failure behavior routes through the shared ``FaultInjector`` sites
+(``rpc.send``, ``rpc.recv``, ``shard.crash``, ``shard.stall``,
+``heartbeat.drop``), so chaos schedules are deterministic and the
+committed state after any schedule is bit-identical to a clean
+single-runtime replay (see ``tests/test_cluster.py``).
+"""
+
+from .coordinator import ClusterConfig, ServeCluster, ShardedCostModel
+from .partition import ShardRouter, hash_shard
+from .replica import ReplicaDown, ShardReplica
+from .rpc import RpcStats, RpcTimeout, SimRpc
+from .supervisor import ShardState, Supervisor, SupervisorStats
+
+__all__ = [
+    "ClusterConfig",
+    "ServeCluster",
+    "ShardedCostModel",
+    "ShardRouter",
+    "hash_shard",
+    "ReplicaDown",
+    "ShardReplica",
+    "RpcStats",
+    "RpcTimeout",
+    "SimRpc",
+    "ShardState",
+    "Supervisor",
+    "SupervisorStats",
+]

@@ -1,0 +1,661 @@
+"""The cluster coordinator: sharded serving with the single-node guarantees.
+
+:class:`ServeCluster` mirrors the :class:`~repro.serve.runtime.ServeRuntime`
+surface (``submit`` / ``step`` / ``drain`` / ``results`` / ``stats`` /
+``close``) so the existing replay harness and chaos benchmarks drive a
+cluster unchanged — but behind that surface each request fans out over N
+:class:`~repro.cluster.replica.ShardReplica`s:
+
+* **Scoring** is a scatter-gather read: the request's node rows are
+  fetched from their owning shards over :class:`~repro.cluster.rpc.SimRpc`
+  (timeout + retry + hedging).  A shard that is down, recovering, or
+  unreachable contributes zero rows and the response is marked *partial*
+  — the cluster answers with reduced fanout instead of failing.
+* **Commits** are validated once at the coordinator (the same staged-NaN
+  poison check the single runtime's post-apply validation would trip),
+  stamped with a cluster sequence number, then routed to each touched
+  shard, which WAL-logs its ownership-filtered sub-batch before applying
+  it.  A sub-batch that cannot be delivered (shard dead or RPC budget
+  exhausted) parks in that shard's pending queue and is redelivered —
+  idempotently, by sequence number — when the shard rejoins.
+* **Failures** are injected between requests (``shard.crash`` /
+  ``shard.stall``) and detected by the
+  :class:`~repro.cluster.supervisor.Supervisor`'s heartbeat loop, which
+  drives WAL-replay takeover and hot-spot rebalancing.
+
+Because every replica applies exactly the committed event sequence
+(eventually — pending queues drain before :meth:`drain` returns) through
+the same content-deterministic staging path, the assembled
+:meth:`memory_image` / :meth:`mailbox_image` after any chaos schedule is
+bit-identical to a clean single-runtime replay of the same admitted
+stream.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..resilience.errors import TransientKernelError
+from ..resilience.hooks import poke as _poke
+from ..serve.admission import AdmissionController
+from ..serve.clock import SimClock
+from ..serve.commit import stage_updates
+from ..serve.deadline import CostModel, DegradationLadder
+from ..serve.events import EventBatch, RejectReason, validate_events
+from ..serve.ingest import IngestPipeline
+from ..serve.runtime import Request, RequestResult
+from .partition import ShardRouter
+from .replica import ReplicaDown, ShardReplica
+from .rpc import RpcTimeout, SimRpc
+from .supervisor import Supervisor
+
+__all__ = ["ClusterConfig", "ShardedCostModel", "ServeCluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for one :class:`ServeCluster` (all simulated-clock seconds).
+
+    The RPC / heartbeat / recovery defaults are scaled to the serving
+    cost model (full-rung service is ~1e-2s for a 100-event request):
+    an RPC round trip is small against one request, a failover detects
+    in a few heartbeats, and WAL-replay takeover costs about one
+    request of wall time plus replay proportional to the log suffix.
+    """
+
+    num_shards: int = 4
+    partition: str = "hash"  # 'hash' | 'temporal'
+    seed: int = 0
+    # RPC channel
+    rpc_service: float = 2.0e-4
+    rpc_timeout: float = 2.0e-3
+    rpc_retries: int = 2
+    rpc_backoff: float = 5.0e-4
+    hedge_delay: Optional[float] = 6.0e-4
+    # failure detection
+    heartbeat_interval: float = 5.0e-3
+    suspect_phi: float = 2.0
+    dead_phi: float = 4.0
+    # takeover model
+    recovery_base: float = 1.0e-2
+    recovery_per_batch: float = 1.0e-4
+    stall_window: float = 2.0e-2
+    # rebalance
+    rebalance_window: float = 0.25
+    rebalance_factor: float = 2.0
+    rebalance_patience: int = 2
+    rebalance_max_fraction: float = 0.25
+    # durability
+    durable_root: Optional[str] = None  # None -> private temp dir
+    fsync: str = "batch"
+    snapshot_every: int = 64
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+
+
+class ShardedCostModel:
+    """Service-cost model for scatter-gather serving over live shards.
+
+    Per-event work divides across the shards currently able to serve
+    (the parallel speedup the cluster exists for); each request
+    additionally pays the RPC rounds its rung needs — two gather waves
+    for the sampling rungs, one for the cheap ones.  Duck-types
+    :class:`~repro.serve.deadline.CostModel` for the ladder and the
+    replay harness.
+    """
+
+    def __init__(self, cluster: "ServeCluster", base: Optional[CostModel] = None):
+        self._cluster = cluster
+        self._base = base or CostModel()
+        self.per_event = self._base.per_event
+        self.fixed = self._base.fixed
+        self.reference_penalty = self._base.reference_penalty
+
+    def estimate(self, level: str, n_events: int, ctx=None,
+                 fetch_seconds: float = 0.0) -> float:
+        live = max(1, self._cluster.live_shards())
+        cost = self.fixed + self.per_event[level] * n_events / live
+        rpc = self._cluster.rpc.service
+        if level in ("full", "reduced"):
+            cost += max(0.0, float(fetch_seconds)) + 2.0 * rpc
+            if ctx is not None and ctx.is_degraded("kernel.sample"):
+                cost *= self.reference_penalty
+        else:
+            cost += rpc
+        return cost
+
+
+class ServeCluster:
+    """N-shard fault-tolerant serving behind the single-runtime surface.
+
+    Args:
+        graph: the shared :class:`~repro.core.graph.TGraph` topology.
+        ctx: shared :class:`~repro.core.context.TContext`.
+        sampler: :class:`~repro.core.sampler.TSampler` for sampling rungs.
+        dim: memory/mailbox row width on every shard.
+        config: :class:`ClusterConfig` (defaults used when ``None``).
+        mailbox_slots: ring slots per node (0 disables mailboxes).
+        clock / deadline / ladder / lateness / max_buffer / max_queue /
+            shed_policy / rate / burst: exactly the
+            :class:`~repro.serve.runtime.ServeRuntime` knobs.
+        injector: optional fault injector whose cursor advances to
+            ``(0, rid)`` per step (install it separately).
+        stream: seeding event stream, required by the ``temporal``
+            partition policy.
+    """
+
+    def __init__(
+        self,
+        graph,
+        ctx,
+        sampler,
+        dim: int,
+        config: Optional[ClusterConfig] = None,
+        mailbox_slots: int = 1,
+        clock: Optional[SimClock] = None,
+        deadline: float = 1.0e-2,
+        ladder: Optional[DegradationLadder] = None,
+        lateness: float = 0.0,
+        max_buffer: int = 10000,
+        max_queue: int = 64,
+        shed_policy: str = "reject-new",
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        injector=None,
+        stream=None,
+    ):
+        self.graph = graph
+        self.ctx = ctx
+        self.sampler = sampler
+        self.dim = int(dim)
+        self.config = config or ClusterConfig()
+        self.clock = clock or SimClock()
+        self.deadline = float(deadline)
+        self.injector = injector
+
+        cfg = self.config
+        self.router = ShardRouter.build(
+            cfg.partition, graph.num_nodes, cfg.num_shards,
+            seed=cfg.seed, stream=stream,
+        )
+        self._tmpdir = None
+        root = cfg.durable_root
+        if root is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            root = self._tmpdir.name
+        self.replicas: List[ShardReplica] = [
+            ShardReplica(
+                i, self.router.owned_nodes(i), graph.num_nodes, self.dim,
+                os.path.join(root, f"shard{i:03d}"),
+                mailbox_slots=mailbox_slots, fsync=cfg.fsync,
+                snapshot_every=cfg.snapshot_every,
+            )
+            for i in range(cfg.num_shards)
+        ]
+        self.rpc = SimRpc(
+            self.clock, service=cfg.rpc_service, timeout=cfg.rpc_timeout,
+            retries=cfg.rpc_retries, backoff=cfg.rpc_backoff,
+            hedge_delay=cfg.hedge_delay,
+        )
+        self.supervisor = Supervisor(
+            self.clock, self.replicas, self.router,
+            heartbeat_interval=cfg.heartbeat_interval,
+            suspect_phi=cfg.suspect_phi, dead_phi=cfg.dead_phi,
+            recovery_base=cfg.recovery_base,
+            recovery_per_batch=cfg.recovery_per_batch,
+            rebalance_window=cfg.rebalance_window,
+            rebalance_factor=cfg.rebalance_factor,
+            rebalance_patience=cfg.rebalance_patience,
+            rebalance_max_fraction=cfg.rebalance_max_fraction,
+            on_recovered=self._drain_pending,
+        )
+        self.ladder = ladder or DegradationLadder(
+            full_fanout=sampler.num_nbrs,
+            cost_model=ShardedCostModel(self),
+        )
+        self.ingest = IngestPipeline(
+            graph.num_nodes, lateness=lateness, max_buffer=max_buffer
+        )
+        self.admission = AdmissionController(
+            self.clock, max_queue=max_queue, policy=shed_policy,
+            rate=rate, burst=burst,
+        )
+        self.results: List[RequestResult] = []
+        self._next_rid = 0
+        self._closed = False
+        self._partial_this_request = 0
+
+        #: cluster commit sequence; every shard sub-batch carries it.
+        self.seq = -1
+        self.committed_watermark = -np.inf
+        #: per-shard queues of ``(seq, sub_batch)`` awaiting redelivery.
+        self._pending: Dict[int, List] = {
+            i: [] for i in range(cfg.num_shards)
+        }
+        # cluster counters
+        self.commits = 0
+        self.commit_retries = 0
+        self.rollbacks = 0
+        self.partial_results = 0
+        self.deferred_applies = 0
+        self.redelivered = 0
+        self.injected_crashes = 0
+        self.injected_stalls = 0
+
+    # ---- liveness ------------------------------------------------------------------
+
+    def live_shards(self) -> int:
+        """Shards currently able to serve gathers and applies."""
+        return sum(
+            1 for rep in self.replicas if rep.alive and not rep.recovering
+        )
+
+    def _chaos(self) -> None:
+        """Consult the shard-level fault sites (between requests)."""
+        now = self.clock.now()
+        for i, rep in enumerate(self.replicas):
+            if rep.alive and _poke("shard.crash", shard=i, extra=i):
+                rep.crash()
+                self.injected_crashes += 1
+        for i, rep in enumerate(self.replicas):
+            if not rep.alive or rep.recovering:
+                continue
+            factor = _poke("shard.stall", shard=i, extra=i)
+            if factor:
+                rep.stall(now, float(factor), self.config.stall_window)
+                self.injected_stalls += 1
+
+    # ---- submission (mirrors ServeRuntime.submit) ----------------------------------
+
+    def submit(
+        self,
+        batch: EventBatch,
+        deadline: Optional[float] = None,
+        arrival: Optional[float] = None,
+    ) -> bool:
+        """Offer one request; returns False when it was shed on arrival."""
+        now = self.clock.now() if arrival is None else float(arrival)
+        req = Request(
+            rid=self._next_rid,
+            batch=batch,
+            arrival=now,
+            deadline=now + (self.deadline if deadline is None else float(deadline)),
+        )
+        self._next_rid += 1
+        admitted = self.admission.offer(req)
+        for shed in self.admission.drain_shed():
+            self.ctx.count("serve:shed", 1)
+            self.results.append(
+                RequestResult(
+                    shed.rid, "shed", "", None,
+                    self.clock.now() - shed.arrival, "admission control",
+                )
+            )
+        if admitted:
+            self.ctx.count("serve:admitted", 1)
+        return admitted
+
+    # ---- serving -------------------------------------------------------------------
+
+    def step(self) -> Optional[RequestResult]:
+        """Serve the next queued request (None when the queue is idle)."""
+        req = self.admission.poll()
+        if req is None:
+            return None
+        if self.injector is not None:
+            self.injector.advance(0, req.rid)
+        self._chaos()
+        self.supervisor.tick()
+
+        remaining = req.deadline - self.clock.now()
+        decision = self.ladder.decide(remaining, len(req.batch), self.ctx)
+        self.clock.advance(decision.estimated_cost)
+
+        self._partial_this_request = 0
+        if decision.level == "timeout":
+            scores, status, detail = None, "timeout", RejectReason.DEADLINE
+        else:
+            try:
+                scores = self._score(req.batch, decision, req.rid)
+                status, detail = "ok", decision.reason
+            except TransientKernelError as err:
+                self.ctx.record_kernel_fault(err.site)
+                decision = decision.__class__(
+                    "memory", 0, decision.estimated_cost,
+                    f"kernel fault at {err.site}",
+                )
+                scores = self._score(req.batch, decision, req.rid)
+                status, detail = "ok", decision.reason
+            if decision.level != "full":
+                self.ctx.count(f"serve:degraded:{decision.level}", 1)
+            if self._partial_this_request:
+                self.partial_results += 1
+                self.ctx.count("serve:partial", 1)
+                detail = (detail + "; " if detail else "") + (
+                    f"partial: {self._partial_this_request} shard(s) unreachable"
+                )
+
+        self._ingest_and_commit(req.batch, req.rid)
+
+        latency = self.clock.now() - req.arrival
+        self.ctx.record_latency(latency)
+        result = RequestResult(
+            req.rid, status, decision.level, scores, latency, detail
+        )
+        self.results.append(result)
+        return result
+
+    def drain(self) -> List[RequestResult]:
+        """Serve the queue, flush ingestion, and settle every failover.
+
+        After ``drain`` returns no shard is mid-recovery and every
+        pending sub-batch has been applied, so the assembled state images
+        reflect the complete committed stream.
+        """
+        while self.step() is not None:
+            pass
+        tail = self.ingest.flush()
+        if len(tail):
+            self._commit(tail, rid=self._next_rid)
+        self._settle()
+        return self.results
+
+    def _settle(self) -> None:
+        """Complete all outstanding failovers and drain pending queues."""
+        for i, rep in enumerate(self.replicas):
+            if not rep.alive and not rep.recovering:
+                # crashed but not yet declared by the detector
+                self.supervisor.force_failover(i)
+        guard = 0
+        while any(rep.recovering for rep in self.replicas):
+            ready = min(
+                rep.ready_at for rep in self.replicas if rep.recovering
+            )
+            self.clock.advance_to(ready)
+            self.supervisor.tick()
+            guard += 1
+            if guard > 4 * len(self.replicas) + 16:
+                raise RuntimeError("cluster failed to settle recoveries")
+
+    # ---- scatter-gather scoring ----------------------------------------------------
+
+    def _gather(self, nodes: np.ndarray, extra: int) -> np.ndarray:
+        """Memory rows for *nodes* from their owning shards.
+
+        One scatter-gather wave: every reachable owning shard is called
+        over the RPC channel; a shard that is down, recovering, or out of
+        retry budget contributes zeros (partial result, reduced fanout).
+        The wave's wall time is its *slowest* shard — calls overlap — and
+        only the excess beyond the nominal round trip already priced by
+        the cost model is charged to the clock.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        rows = np.zeros((len(nodes), self.dim), dtype=np.float32)
+        if not len(nodes):
+            return rows
+        shards = self.router.shard_of(nodes)
+        now = self.clock.now()
+        slowest = 0.0
+        for k, shard in enumerate(np.unique(shards)):
+            rep = self.replicas[shard]
+            if not rep.alive or rep.recovering:
+                self._partial_this_request += 1
+                continue
+            try:
+                elapsed = self.rpc.call(
+                    int(shard), alive=rep.alive,
+                    stall=rep.current_stall(now),
+                    extra=extra + 17 * int(shard) + k,
+                )
+            except RpcTimeout:
+                self._partial_this_request += 1
+                continue
+            idx = shards == shard
+            rows[idx] = rep.gather(nodes[idx])
+            slowest = max(slowest, elapsed)
+        self.clock.advance(max(0.0, slowest - self.rpc.service))
+        return rows
+
+    def _score(self, batch: EventBatch, decision, rid: int) -> np.ndarray:
+        """Link-prediction scores at the decided rung (junk-safe)."""
+        if not len(batch):
+            return np.empty(0, dtype=np.float32)
+        ok, _ = validate_events(batch, self.graph.num_nodes)
+        if not ok.all():
+            scores = np.full(len(batch), np.nan, dtype=np.float32)
+            if ok.any():
+                scores[ok] = self._score(batch.take(ok), decision, rid)
+            return scores
+        nodes = np.concatenate([batch.src, batch.dst])
+        times = np.concatenate([batch.ts, batch.ts])
+        base = 104729 * (rid + 1)
+        if decision.level in ("full", "reduced"):
+            emb = self._embed_sampled(nodes, times, decision.fanout, base)
+        elif decision.level == "cache":
+            emb = self._embed_cached(nodes, times, base)
+        else:  # 'memory'
+            emb = self._gather(nodes, base)
+        n = len(batch)
+        logits = np.sum(emb[:n] * emb[n:], axis=1)
+        return (1.0 / (1.0 + np.exp(-logits))).astype(np.float32)
+
+    def _embed_sampled(self, nodes, times, fanout: int, extra: int) -> np.ndarray:
+        """Shard-gathered rows enriched with sampled temporal neighbors."""
+        res = self.sampler.sample_arrays(
+            self.graph.csr(), nodes, times, ctx=self.ctx, num_nbrs=fanout
+        )
+        emb = self._gather(nodes, extra).copy()
+        if len(res.srcnodes):
+            agg = np.zeros_like(emb)
+            counts = np.zeros(len(nodes), dtype=np.float32)
+            np.add.at(agg, res.dstindex, self._gather(res.srcnodes, extra + 1))
+            np.add.at(counts, res.dstindex, 1.0)
+            hot = counts > 0
+            emb[hot] = 0.5 * (emb[hot] + agg[hot] / counts[hot, None])
+        cache = self.ctx.embed_cache(0)
+        if cache.enabled:
+            cache.store(nodes, times, emb)
+        return emb
+
+    def _embed_cached(self, nodes, times, extra: int) -> np.ndarray:
+        cache = self.ctx.embed_cache(0)
+        emb = self._gather(nodes, extra).copy()
+        hits, values = cache.lookup(nodes, times)
+        if values is not None and hits.any():
+            emb[hits] = values[hits]
+        return emb
+
+    # ---- commit fan-out ------------------------------------------------------------
+
+    def _ingest_and_commit(self, batch: EventBatch, rid: int) -> None:
+        for attempt in range(3):
+            try:
+                released = self.ingest.push(batch)
+                break
+            except TransientKernelError as err:
+                self.ctx.record_kernel_fault(err.site)
+                if attempt == 2:
+                    raise
+        self._commit(released, rid)
+
+    def _commit(self, released: EventBatch, rid: int) -> None:
+        """Validate once at the coordinator, then fan out by ownership.
+
+        The single runtime applies, validates, and rolls back a poisoned
+        batch; staged values are a pure function of event content, so
+        validating the staged rows *before* fan-out quarantines exactly
+        the same batches without needing cross-shard two-phase commit.
+        """
+        if not len(released):
+            return
+        retries = 0
+        while True:
+            try:
+                _poke("serve.commit")
+                nodes, values, times = stage_updates(released, self.dim)
+                break
+            except TransientKernelError as err:
+                self.ctx.record_kernel_fault(err.site)
+                if retries >= 2:
+                    raise
+                retries += 1
+                self.commit_retries += 1
+        _poke("serve.poison", values=values)
+        if not np.isfinite(values).all():
+            self.rollbacks += 1
+            self.ctx.count("serve:quarantined", len(released))
+            self.ingest.quarantine_batch(
+                released, "poisoned batch: non-finite staged values"
+            )
+            return
+        self.seq += 1
+        seq = self.seq
+        now = self.clock.now()
+        for shard, sub in sorted(self.router.split_batch(released).items()):
+            rep = self.replicas[shard]
+            ends = np.concatenate([sub.src, sub.dst])
+            ends = ends[(ends >= 0) & (ends < self.graph.num_nodes)]
+            owned_ends = ends[self.router.assign[ends] == shard]
+            self.supervisor.note_load(shard, len(owned_ends), nodes=owned_ends)
+            if not rep.alive or rep.recovering:
+                self._pending[shard].append((seq, sub))
+                self.deferred_applies += 1
+                continue
+            try:
+                self.rpc.call(
+                    shard, alive=rep.alive, stall=rep.current_stall(now),
+                    extra=104729 * (rid + 1) + 31 * shard + 7,
+                    on_deliver=lambda rep=rep, sub=sub, s=seq: rep.apply(sub, s),
+                )
+            except (RpcTimeout, ReplicaDown):
+                # Maybe delivered (reply lost) — redelivery is idempotent
+                # by sequence number, so parking it is always safe.
+                self._pending[shard].append((seq, sub))
+                self.deferred_applies += 1
+        self.commits += 1
+        self.committed_watermark = max(
+            self.committed_watermark, float(released.ts.max())
+        )
+
+    def _drain_pending(self, shard: int) -> None:
+        """Redeliver parked sub-batches to a freshly rejoined shard.
+
+        Modeled as a reliable in-order redelivery channel (queues are
+        appended in sequence order); already-applied sequence numbers —
+        delivered-but-reply-lost attempts — are shard-side no-ops.
+        """
+        rep = self.replicas[shard]
+        queue, self._pending[shard] = self._pending[shard], []
+        for seq, sub in queue:
+            rep.apply(sub, seq)
+            self.redelivered += 1
+
+    # ---- assembled state images ----------------------------------------------------
+
+    def memory_image(self):
+        """Global ``(data, time)`` memory arrays assembled from the shards.
+
+        Every node's row comes from its owning shard, so after
+        :meth:`drain` the image is directly comparable — bit-for-bit —
+        with a single runtime's ``memory.data.data`` / ``memory.time``.
+        """
+        data = np.zeros((self.graph.num_nodes, self.dim), dtype=np.float32)
+        time = np.zeros(self.graph.num_nodes, dtype=np.float64)
+        for rep in self.replicas:
+            if rep.memory is None:
+                raise ReplicaDown(
+                    f"shard {rep.shard_id} is down; drain() first"
+                )
+            data[rep.owned] = rep.memory.data.data
+            time[rep.owned] = rep.memory.time
+        return data, time
+
+    def mailbox_image(self):
+        """Global ``(mail, time, cursor)`` mailbox arrays from the shards."""
+        first = self.replicas[0].mailbox
+        if first is None:
+            return None
+        slots = first.slots
+        n = self.graph.num_nodes
+        shape = (n, self.dim) if slots == 1 else (n, slots, self.dim)
+        tshape = (n,) if slots == 1 else (n, slots)
+        mail = np.zeros(shape, dtype=np.float32)
+        time = np.zeros(tshape, dtype=np.float64)
+        cursor = np.zeros(n, dtype=np.int64) if slots > 1 else None
+        for rep in self.replicas:
+            if rep.mailbox is None:
+                raise ReplicaDown(
+                    f"shard {rep.shard_id} is down; drain() first"
+                )
+            mail[rep.owned] = rep.mailbox.mail.data
+            time[rep.owned] = rep.mailbox.time
+            if cursor is not None:
+                cursor[rep.owned] = rep.mailbox._next_slot
+        return mail, time, cursor
+
+    # ---- reporting / lifecycle -----------------------------------------------------
+
+    def pending_applies(self) -> int:
+        return sum(len(q) for q in self._pending.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Flat dict: serving counters plus cluster/rpc/per-shard rows."""
+        out: Dict[str, object] = {}
+        out.update({f"admission:{k}": v
+                    for k, v in self.admission.stats.as_dict().items()})
+        out.update({f"ingest:{k}": v
+                    for k, v in self.ingest.stats.as_dict().items()})
+        out.update({f"ladder:{k}": v
+                    for k, v in sorted(self.ladder.decisions.items())})
+        out["watermark"] = self.ingest.watermark
+        out["committed_watermark"] = self.committed_watermark
+        out["cluster:shards"] = self.config.num_shards
+        out["cluster:live_shards"] = self.live_shards()
+        out["cluster:partition"] = self.router.policy
+        out["cluster:assignment_version"] = self.router.version
+        out["cluster:commits"] = self.commits
+        out["cluster:commit_retries"] = self.commit_retries
+        out["cluster:rollbacks"] = self.rollbacks
+        out["cluster:partial_results"] = self.partial_results
+        out["cluster:deferred_applies"] = self.deferred_applies
+        out["cluster:redelivered"] = self.redelivered
+        out["cluster:pending_applies"] = self.pending_applies()
+        out["cluster:injected_crashes"] = self.injected_crashes
+        out["cluster:injected_stalls"] = self.injected_stalls
+        out.update({f"cluster:{k}": v
+                    for k, v in self.supervisor.stats.as_dict().items()})
+        out.update({f"rpc:{k}": v for k, v in self.rpc.stats.as_dict().items()})
+        for i, rep in enumerate(self.replicas):
+            out.update({f"shard:{i}:{k}": v for k, v in rep.stats().items()})
+        return out
+
+    def close(self) -> None:
+        """Idempotent teardown: every replica (dead ones included)."""
+        if self._closed:
+            return
+        self._closed = True
+        for rep in self.replicas:
+            rep.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "ServeCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeCluster(shards={self.config.num_shards}, "
+            f"live={self.live_shards()}, served={len(self.results)}, "
+            f"clock={self.clock.now():.6g})"
+        )

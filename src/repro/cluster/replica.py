@@ -1,0 +1,380 @@
+"""One serving shard: an owned slice of Memory/Mailbox behind its own WAL.
+
+A :class:`ShardReplica` owns the rows of the global node space its
+:class:`~repro.cluster.partition.ShardRouter` assignment names.  State is
+held *locally indexed* (a dense slice plus a global->local map), and
+every mutation follows the same WAL-then-apply protocol the single
+serving runtime uses (PR 5): the ownership-filtered event batch is
+logged to the replica's private :class:`~repro.durable.store.DurableStateStore`
+before any row changes, so a crashed replica recovers — snapshot plus
+prefix-consistent log suffix — to state bit-identical to what it acked.
+
+Three invariants make shard-level recovery compose into cluster-level
+equivalence:
+
+* **Sequence idempotence** — every applied batch carries the cluster
+  commit sequence number; a redelivered batch (lost RPC reply, pending
+  queue drain after failover) with ``seq <= last_seq`` is a no-op.
+* **Ownership filtering commutes with dedup** — the replica applies only
+  the endpoint rows it owns; because ``Memory.update`` / ``Mailbox.store``
+  resolve duplicates per node (last event wins, canonical ring order),
+  the union of per-shard applies equals one global apply.
+* **Snapshots anchor ownership** — a snapshot (written at construction,
+  periodically, and at every rebalance hand-off) embeds the owned-node
+  array, so the WAL suffix above the newest snapshot is always replayed
+  under the ownership it was logged under.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.mailbox import Mailbox
+from ..core.memory import Memory
+from ..durable.codec import KIND_BATCH
+from ..durable.store import DurableStateStore
+from ..serve.commit import stage_updates
+from ..serve.events import EventBatch
+
+__all__ = ["ReplicaDown", "ShardReplica"]
+
+
+class ReplicaDown(RuntimeError):
+    """The replica is crashed or still recovering; it serves nothing."""
+
+
+class ShardReplica:
+    """One shard's state, durability, and liveness.
+
+    Args:
+        shard_id: this replica's shard number.
+        owned: global node ids this shard owns (the router's assignment).
+        num_nodes: global node-space size (for the global->local map).
+        dim: memory/mailbox row width.
+        durable_dir: private directory for this shard's WAL + snapshots.
+        mailbox_slots: ring slots per node (0 disables the mailbox).
+        fsync: WAL durability policy (``'always'``/``'batch'``/``'never'``).
+        snapshot_every: applied batches between periodic snapshots.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        owned: np.ndarray,
+        num_nodes: int,
+        dim: int,
+        durable_dir: str,
+        mailbox_slots: int = 1,
+        fsync: str = "batch",
+        snapshot_every: int = 64,
+    ):
+        self.shard_id = int(shard_id)
+        self.num_nodes = int(num_nodes)
+        self.dim = int(dim)
+        self.mailbox_slots = int(mailbox_slots)
+        self.durable_dir = durable_dir
+        self.fsync = fsync
+        self.snapshot_every = int(snapshot_every)
+        os.makedirs(durable_dir, exist_ok=True)
+
+        self.owned = np.sort(np.asarray(owned, dtype=np.int64))
+        self._local = np.full(self.num_nodes, -1, dtype=np.int64)
+        self._local[self.owned] = np.arange(len(self.owned))
+        self.memory = Memory(len(self.owned), dim)
+        self.mailbox = (
+            Mailbox(len(self.owned), dim, slots=self.mailbox_slots)
+            if self.mailbox_slots > 0
+            else None
+        )
+        self.store: Optional[DurableStateStore] = DurableStateStore(
+            durable_dir, fsync=fsync
+        )
+
+        #: newest cluster commit sequence number durably applied.
+        self.last_seq = -1
+        self.alive = True
+        self.recovering = False
+        self.ready_at = 0.0
+        #: simulated time until which calls run ``stall_factor`` slower.
+        self.stall_until = -np.inf
+        self.stall_factor = 1.0
+
+        self.applied_batches = 0
+        self.applied_events = 0
+        self.duplicate_batches = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.stalls = 0
+        self._since_snapshot = 0
+        # Anchor: ownership is durable before the first WAL record.
+        self.write_snapshot()
+
+    # ---- liveness ------------------------------------------------------------------
+
+    def current_stall(self, now: float) -> float:
+        """Service-time multiplier in effect at *now*."""
+        return self.stall_factor if now < self.stall_until else 1.0
+
+    def stall(self, now: float, factor: float, window: float) -> None:
+        """Enter a stall window: every call until ``now + window`` is slow."""
+        self.stall_until = now + float(window)
+        self.stall_factor = max(1.0, float(factor))
+        self.stalls += 1
+
+    def crash(self) -> None:
+        """Kill the process: in-RAM state is gone, the durable dir survives.
+
+        The store is closed (its buffered WAL tail flushes — disk-level
+        loss is modeled separately by the ``disk.*`` fault sites), so
+        everything this replica *acked* is durable and recovery is exact.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.memory = None
+        self.mailbox = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def begin_recovery(self, ready_at: float) -> None:
+        """Failover initiated: a respawn completes at *ready_at*."""
+        self.recovering = True
+        self.ready_at = float(ready_at)
+
+    def estimate_recovery_seconds(self, base: float, per_batch: float) -> float:
+        """Modeled takeover time: snapshot load plus WAL-suffix replay."""
+        return base + per_batch * max(0, self._since_snapshot)
+
+    def respawn(self) -> Dict[str, object]:
+        """Rebuild state from the durable directory and rejoin.
+
+        Loads the newest intact snapshot (ownership included), replays
+        the committed non-aborted WAL suffix through the same staging +
+        filtered-apply path live traffic uses, and restores the applied
+        sequence cursor — bit-identical to the state at the last acked
+        apply (prefix-consistent: a torn tail was never acked).
+        """
+        self.store = DurableStateStore(self.durable_dir, fsync=self.fsync)
+        state = self.store.recover()
+        if state.snapshot_arrays is None:
+            raise RuntimeError(
+                f"shard {self.shard_id}: no snapshot to recover ownership from"
+            )
+        arrays = state.snapshot_arrays
+        self.owned = np.asarray(arrays["owned"], dtype=np.int64)
+        self._local = np.full(self.num_nodes, -1, dtype=np.int64)
+        self._local[self.owned] = np.arange(len(self.owned))
+        self.memory = Memory(len(self.owned), self.dim)
+        self.memory.data.data[...] = arrays["memory/data"]
+        self.memory.time[...] = arrays["memory/time"]
+        if self.mailbox_slots > 0:
+            self.mailbox = Mailbox(len(self.owned), self.dim,
+                                   slots=self.mailbox_slots)
+            self.mailbox.mail.data[...] = arrays["mailbox/mail"]
+            self.mailbox.time[...] = arrays["mailbox/time"]
+            if self.mailbox._next_slot is not None:
+                self.mailbox._next_slot[...] = arrays["mailbox/cursor"]
+        self.last_seq = int(state.snapshot_meta.get("seq", -1))
+        replayed = 0
+        for record in state.records:
+            if record.kind != KIND_BATCH:
+                continue
+            batch = EventBatch.from_arrays(record.arrays)
+            if len(batch):
+                self._apply_rows(batch)
+            self.last_seq = max(self.last_seq, int(record.meta.get("seq", -1)))
+            replayed += 1
+        self._since_snapshot = replayed
+        self.alive = True
+        self.recovering = False
+        self.recoveries += 1
+        return {"replayed": replayed, "seq": self.last_seq,
+                "aborted_skipped": state.aborted}
+
+    # ---- state application ---------------------------------------------------------
+
+    def _apply_rows(self, batch: EventBatch) -> int:
+        """Stage *batch* and apply the endpoint rows this shard owns."""
+        nodes, values, times = stage_updates(batch, self.dim)
+        ok = (nodes >= 0) & (nodes < self.num_nodes)
+        own = np.zeros(len(nodes), dtype=bool)
+        own[ok] = self._local[nodes[ok]] >= 0
+        if not own.any():
+            return 0
+        local = self._local[nodes[own]]
+        self.memory.update(local, values[own], times[own])
+        if self.mailbox is not None:
+            self.mailbox.store(local, values[own], times[own])
+        return int(own.sum())
+
+    def apply(self, batch: EventBatch, seq: int) -> bool:
+        """Durably apply one cluster-committed sub-batch (idempotent).
+
+        WAL-then-apply: the sub-batch is logged before any row changes,
+        so an ack implies durability.  Returns False for a redelivered
+        sequence number (already applied — nothing happens).
+        """
+        if not self.alive or self.memory is None:
+            raise ReplicaDown(f"shard {self.shard_id} is down")
+        if seq <= self.last_seq:
+            self.duplicate_batches += 1
+            return False
+        if not len(batch):
+            self.last_seq = int(seq)
+            return True
+        self.store.log_batch(
+            batch.to_arrays(),
+            {"seq": int(seq), "watermark": float(batch.ts.max())},
+        )
+        applied = self._apply_rows(batch)
+        self.last_seq = int(seq)
+        self.applied_batches += 1
+        self.applied_events += applied
+        self._since_snapshot += 1
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            self.write_snapshot()
+        return True
+
+    def gather(self, nodes: np.ndarray) -> np.ndarray:
+        """Memory rows for owned global *nodes* (scoring-path read)."""
+        if not self.alive or self.memory is None:
+            raise ReplicaDown(f"shard {self.shard_id} is down")
+        local = self._local[np.asarray(nodes, dtype=np.int64)]
+        if (local < 0).any():
+            raise KeyError(
+                f"shard {self.shard_id} asked for {int((local < 0).sum())} "
+                "nodes it does not own"
+            )
+        return self.memory.data.data[local]
+
+    # ---- snapshots / rebalance -----------------------------------------------------
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {
+            "owned": self.owned,
+            "memory/data": self.memory.data.data,
+            "memory/time": self.memory.time,
+        }
+        if self.mailbox is not None:
+            arrays["mailbox/mail"] = self.mailbox.mail.data
+            arrays["mailbox/time"] = self.mailbox.time
+            if self.mailbox._next_slot is not None:
+                arrays["mailbox/cursor"] = self.mailbox._next_slot
+        return arrays
+
+    def write_snapshot(self) -> None:
+        """Durably anchor state + ownership; compacts the log below it."""
+        self.store.snapshot(self.state_arrays(), {"seq": int(self.last_seq)})
+        self._since_snapshot = 0
+
+    def _rebuild(self, new_owned: np.ndarray, keep_from=None) -> "tuple":
+        """Re-slice local storage for *new_owned*; returns the old stores."""
+        old_memory, old_mailbox, old_local = self.memory, self.mailbox, self._local
+        self.owned = np.sort(np.asarray(new_owned, dtype=np.int64))
+        self._local = np.full(self.num_nodes, -1, dtype=np.int64)
+        self._local[self.owned] = np.arange(len(self.owned))
+        self.memory = Memory(len(self.owned), self.dim)
+        if self.mailbox_slots > 0:
+            self.mailbox = Mailbox(len(self.owned), self.dim,
+                                   slots=self.mailbox_slots)
+        return old_memory, old_mailbox, old_local
+
+    def release(self, nodes: np.ndarray) -> Dict[str, np.ndarray]:
+        """Hand off *nodes*' rows (rebalance); shrinks this shard.
+
+        Returns the handed-off state for :meth:`adopt` on the receiving
+        shard and snapshots the new, smaller ownership so recovery can
+        never resurrect released rows here.
+        """
+        if not self.alive:
+            raise ReplicaDown(f"shard {self.shard_id} is down")
+        nodes = np.sort(np.asarray(nodes, dtype=np.int64))
+        local = self._local[nodes]
+        if (local < 0).any():
+            raise KeyError(f"shard {self.shard_id} releasing unowned nodes")
+        out: Dict[str, np.ndarray] = {
+            "nodes": nodes,
+            "memory/data": self.memory.data.data[local].copy(),
+            "memory/time": self.memory.time[local].copy(),
+        }
+        if self.mailbox is not None:
+            out["mailbox/mail"] = self.mailbox.mail.data[local].copy()
+            out["mailbox/time"] = self.mailbox.time[local].copy()
+            if self.mailbox._next_slot is not None:
+                out["mailbox/cursor"] = self.mailbox._next_slot[local].copy()
+        keep = np.setdiff1d(self.owned, nodes)
+        old_memory, old_mailbox, old_local = self._rebuild(keep)
+        kept_local = old_local[self.owned]
+        self.memory.data.data[...] = old_memory.data.data[kept_local]
+        self.memory.time[...] = old_memory.time[kept_local]
+        if self.mailbox is not None:
+            self.mailbox.mail.data[...] = old_mailbox.mail.data[kept_local]
+            self.mailbox.time[...] = old_mailbox.time[kept_local]
+            if self.mailbox._next_slot is not None:
+                self.mailbox._next_slot[...] = old_mailbox._next_slot[kept_local]
+        self.write_snapshot()
+        return out
+
+    def adopt(self, state: Dict[str, np.ndarray]) -> None:
+        """Take ownership of rows released by another shard."""
+        if not self.alive:
+            raise ReplicaDown(f"shard {self.shard_id} is down")
+        incoming = np.asarray(state["nodes"], dtype=np.int64)
+        old_memory, old_mailbox, old_local = self._rebuild(
+            np.union1d(self.owned, incoming)
+        )
+        prev = old_local[self.owned]
+        had = prev >= 0
+        self.memory.data.data[had] = old_memory.data.data[prev[had]]
+        self.memory.time[had] = old_memory.time[prev[had]]
+        new_local = self._local[incoming]
+        self.memory.data.data[new_local] = state["memory/data"]
+        self.memory.time[new_local] = state["memory/time"]
+        if self.mailbox is not None:
+            self.mailbox.mail.data[had] = old_mailbox.mail.data[prev[had]]
+            self.mailbox.time[had] = old_mailbox.time[prev[had]]
+            self.mailbox.mail.data[new_local] = state["mailbox/mail"]
+            self.mailbox.time[new_local] = state["mailbox/time"]
+            if self.mailbox._next_slot is not None:
+                self.mailbox._next_slot[had] = old_mailbox._next_slot[prev[had]]
+                self.mailbox._next_slot[new_local] = state["mailbox/cursor"]
+        self.write_snapshot()
+
+    # ---- reporting / lifecycle -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "owned_nodes": int(len(self.owned)),
+            "alive": bool(self.alive),
+            "applied_batches": self.applied_batches,
+            "applied_events": self.applied_events,
+            "duplicate_batches": self.duplicate_batches,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "stalls": self.stalls,
+            "last_seq": self.last_seq,
+        }
+        if self.store is not None:
+            out["wal_last_lsn"] = self.store.wal.last_lsn
+        return out
+
+    def close(self) -> None:
+        """Idempotent; safe on crashed replicas (their store is gone)."""
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def __repr__(self) -> str:
+        state = (
+            "recovering" if self.recovering
+            else ("alive" if self.alive else "dead")
+        )
+        return (
+            f"ShardReplica(shard={self.shard_id}, nodes={len(self.owned)}, "
+            f"seq={self.last_seq}, {state})"
+        )

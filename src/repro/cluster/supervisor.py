@@ -1,0 +1,304 @@
+"""Heartbeat failure detection, failover, and hot-spot rebalancing.
+
+The :class:`Supervisor` is the cluster's control plane, driven entirely
+by the shared simulated clock so every run is replayable:
+
+* **Heartbeats** — each live replica beats every ``heartbeat_interval``
+  seconds; a beat can be lost at the ``heartbeat.drop`` fault site.  The
+  detector scores each shard with a phi-accrual-style suspicion level,
+  ``phi = missed_intervals = (now - last_beat) / interval``: crossing
+  ``suspect_phi`` marks the shard *suspect* (still routed to, still
+  hedged against), crossing ``dead_phi`` marks it *dead* and triggers
+  failover.  A suspect shard that beats again returns to *ok* — lost
+  heartbeats alone never kill a live shard until they accumulate past
+  the dead threshold.
+* **Failover** — a dead shard's takeover replays its private WAL
+  (snapshot + prefix-consistent suffix, see
+  :meth:`~repro.cluster.replica.ShardReplica.respawn`); the modeled
+  takeover time is charged to the clock, and until it elapses the
+  coordinator queues the shard's state applies for redelivery.
+* **Rebalance** — per-shard load is accumulated per observation window;
+  when one shard sustains more than ``rebalance_factor``x the mean load
+  for ``rebalance_patience`` consecutive windows, the hottest nodes of
+  the hot shard (by per-node touch counts) move to the least-loaded
+  shard: row hand-off, snapshot anchoring on both sides, and a router
+  assignment bump (the only place assignments change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..resilience.hooks import poke as _poke
+
+__all__ = ["ShardState", "SupervisorStats", "Supervisor"]
+
+
+class ShardState:
+    """Detector states for one shard."""
+
+    OK = "ok"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    RECOVERING = "recovering"
+
+
+@dataclass
+class SupervisorStats:
+    """Running control-plane counters."""
+
+    beats: int = 0
+    beats_dropped: int = 0
+    suspects: int = 0
+    failovers: int = 0
+    recoveries: int = 0
+    rebalances: int = 0
+    nodes_moved: int = 0
+    #: seconds from dead-declaration to rejoin, per completed failover.
+    recovery_seconds: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        out = {
+            "beats": self.beats,
+            "beats_dropped": self.beats_dropped,
+            "suspects": self.suspects,
+            "failovers": self.failovers,
+            "recoveries": self.recoveries,
+            "rebalances": self.rebalances,
+            "nodes_moved": self.nodes_moved,
+        }
+        if self.recovery_seconds:
+            out["mean_time_to_recover"] = float(np.mean(self.recovery_seconds))
+        return out
+
+
+class Supervisor:
+    """Failure detector + failover/rebalance driver for one cluster.
+
+    Args:
+        clock: the shared simulated clock.
+        replicas: the cluster's :class:`~repro.cluster.replica.ShardReplica`s.
+        router: the shared :class:`~repro.cluster.partition.ShardRouter`.
+        heartbeat_interval: seconds between beats per shard.
+        suspect_phi / dead_phi: missed-interval thresholds for the
+            suspect and dead transitions.
+        recovery_base / recovery_per_batch: modeled takeover time —
+            snapshot load plus per-WAL-record replay.
+        rebalance_window: seconds of load observed per rebalance check.
+        rebalance_factor: hot-spot trigger, ``max_load > factor * mean``.
+        rebalance_patience: consecutive hot windows before moving nodes.
+        rebalance_max_fraction: at most this fraction of the hot shard's
+            nodes moves per rebalance.
+        on_recovered: callback ``(shard_id)`` after a respawn completes
+            (the coordinator drains that shard's pending applies).
+    """
+
+    def __init__(
+        self,
+        clock,
+        replicas,
+        router,
+        heartbeat_interval: float = 5.0e-3,
+        suspect_phi: float = 2.0,
+        dead_phi: float = 4.0,
+        recovery_base: float = 1.0e-2,
+        recovery_per_batch: float = 1.0e-4,
+        rebalance_window: float = 0.25,
+        rebalance_factor: float = 2.0,
+        rebalance_patience: int = 2,
+        rebalance_max_fraction: float = 0.25,
+        on_recovered=None,
+    ):
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if not 0 < suspect_phi <= dead_phi:
+            raise ValueError("need 0 < suspect_phi <= dead_phi")
+        self.clock = clock
+        self.replicas = replicas
+        self.router = router
+        self.interval = float(heartbeat_interval)
+        self.suspect_phi = float(suspect_phi)
+        self.dead_phi = float(dead_phi)
+        self.recovery_base = float(recovery_base)
+        self.recovery_per_batch = float(recovery_per_batch)
+        self.rebalance_window = float(rebalance_window)
+        self.rebalance_factor = float(rebalance_factor)
+        self.rebalance_patience = int(rebalance_patience)
+        self.rebalance_max_fraction = float(rebalance_max_fraction)
+        self.on_recovered = on_recovered
+        self.stats = SupervisorStats()
+
+        n = len(replicas)
+        now = clock.now()
+        self.last_beat = np.full(n, now, dtype=np.float64)
+        self.state = [ShardState.OK] * n
+        self._dead_since: Dict[int, float] = {}
+        self._next_beat = now + self.interval
+        self._beat_seq = 0
+        # load accounting for hot-spot detection
+        self._window_load = np.zeros(n, dtype=np.float64)
+        self._node_touches = np.zeros(router.num_nodes, dtype=np.float64)
+        self._window_end = now + self.rebalance_window
+        self._hot_streak = 0
+
+    # ---- load observation ----------------------------------------------------------
+
+    def note_load(self, shard: int, n_events: int,
+                  nodes: Optional[np.ndarray] = None) -> None:
+        """Record that *shard* handled *n_events* endpoint rows."""
+        self._window_load[shard] += n_events
+        if nodes is not None and len(nodes):
+            np.add.at(self._node_touches, nodes, 1.0)
+
+    # ---- the tick ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Run heartbeats, detection, failover completion, rebalance."""
+        now = self.clock.now()
+        self._heartbeats(now)
+        self._detect(now)
+        self._complete_recoveries(now)
+        self._maybe_rebalance(now)
+
+    def _heartbeats(self, now: float) -> None:
+        while now >= self._next_beat:
+            t = self._next_beat
+            self._next_beat += self.interval
+            self._beat_seq += 1
+            for i, rep in enumerate(self.replicas):
+                if not rep.alive:
+                    continue  # a dead host beats nothing
+                self.stats.beats += 1
+                dropped = _poke(
+                    "heartbeat.drop", shard=i,
+                    extra=i + 101 * self._beat_seq,
+                )
+                if dropped:
+                    self.stats.beats_dropped += 1
+                else:
+                    self.last_beat[i] = t
+
+    def _detect(self, now: float) -> None:
+        for i, rep in enumerate(self.replicas):
+            if rep.recovering:
+                continue
+            phi = (now - self.last_beat[i]) / self.interval
+            if phi >= self.dead_phi:
+                if self.state[i] != ShardState.DEAD:
+                    self.state[i] = ShardState.DEAD
+                    self._dead_since[i] = now
+                    self._failover(i, now)
+            elif phi >= self.suspect_phi:
+                if self.state[i] == ShardState.OK:
+                    self.state[i] = ShardState.SUSPECT
+                    self.stats.suspects += 1
+            elif self.state[i] == ShardState.SUSPECT:
+                self.state[i] = ShardState.OK  # it beat again: false alarm
+
+    def force_failover(self, shard: int) -> None:
+        """Immediately declare *shard* dead (drain-time settlement).
+
+        Used when the coordinator must guarantee progress — e.g. a crash
+        observed directly at teardown that the heartbeat detector has not
+        had enough missed beats to score yet.
+        """
+        if self.replicas[shard].recovering:
+            return
+        now = self.clock.now()
+        self.state[shard] = ShardState.DEAD
+        self._dead_since.setdefault(shard, now)
+        self._failover(shard, now)
+
+    def _failover(self, shard: int, now: float) -> None:
+        """Declare *shard* dead and start its WAL-replay takeover."""
+        rep = self.replicas[shard]
+        # A live shard declared dead (accumulated heartbeat loss) is
+        # fenced first — split-brain guard: the detector's verdict wins.
+        rep.crash()
+        seconds = rep.estimate_recovery_seconds(
+            self.recovery_base, self.recovery_per_batch
+        )
+        rep.begin_recovery(ready_at=now + seconds)
+        self.state[shard] = ShardState.RECOVERING
+        self.stats.failovers += 1
+
+    def _complete_recoveries(self, now: float) -> None:
+        for i, rep in enumerate(self.replicas):
+            if rep.recovering and now >= rep.ready_at:
+                rep.respawn()
+                self.state[i] = ShardState.OK
+                self.last_beat[i] = now
+                self.stats.recoveries += 1
+                started = self._dead_since.pop(i, now)
+                self.stats.recovery_seconds.append(now - started)
+                if self.on_recovered is not None:
+                    self.on_recovered(i)
+
+    # ---- hot-spot rebalance --------------------------------------------------------
+
+    def _maybe_rebalance(self, now: float) -> None:
+        if now < self._window_end:
+            return
+        self._window_end = now + self.rebalance_window
+        load = self._window_load
+        self._window_load = np.zeros_like(load)
+        total = float(load.sum())
+        if total <= 0 or len(load) < 2:
+            self._hot_streak = 0
+            return
+        mean = total / len(load)
+        hot = int(np.argmax(load))
+        if load[hot] > self.rebalance_factor * mean and len(
+            self.router.owned_nodes(hot)
+        ) > 1:
+            self._hot_streak += 1
+        else:
+            self._hot_streak = 0
+            return
+        if self._hot_streak < self.rebalance_patience:
+            return
+        self._hot_streak = 0
+        cold = int(np.argmin(load))
+        if cold == hot:
+            return
+        hot_rep, cold_rep = self.replicas[hot], self.replicas[cold]
+        if not (hot_rep.alive and cold_rep.alive) or (
+            hot_rep.recovering or cold_rep.recovering
+        ):
+            return  # never rebalance through a failover in progress
+        owned = self.router.owned_nodes(hot)
+        touches = self._node_touches[owned]
+        order = owned[np.argsort(-touches, kind="stable")]
+        # Move the hottest nodes carrying about half the excess load,
+        # bounded so one rebalance never empties a shard.
+        excess = (load[hot] - mean) / 2.0
+        budget = max(1, int(len(owned) * self.rebalance_max_fraction))
+        moved: List[int] = []
+        carried = 0.0
+        for node in order:
+            if len(moved) >= budget or carried >= excess:
+                break
+            moved.append(int(node))
+            carried += float(self._node_touches[node])
+        if not moved or len(moved) >= len(owned):
+            return
+        nodes = np.asarray(moved, dtype=np.int64)
+        cold_rep.adopt(hot_rep.release(nodes))
+        self.router.move(nodes, cold)
+        self._node_touches[nodes] = 0.0
+        self.stats.rebalances += 1
+        self.stats.nodes_moved += len(nodes)
+
+    # ---- reporting -----------------------------------------------------------------
+
+    def shard_states(self) -> List[str]:
+        return list(self.state)
+
+    def __repr__(self) -> str:
+        return (
+            f"Supervisor(shards={len(self.replicas)}, states={self.state}, "
+            f"failovers={self.stats.failovers})"
+        )

@@ -65,6 +65,11 @@ DECISIONS: Dict[str, str] = {
     "disk.write.dup": "disk.write",
     "disk.fsync.lost": "disk.fsync",
     "disk.read.flip": "disk.read",
+    "rpc.send.drop": "rpc.send",
+    "rpc.recv.drop": "rpc.recv",
+    "shard.crash": "shard.crash",
+    "shard.stall": "shard.stall",
+    "heartbeat.drop": "heartbeat.drop",
 }
 
 _MASK64 = (1 << 64) - 1
@@ -161,6 +166,22 @@ class FaultInjector:
             record is flipped while *reading* it back (site ``disk.read``;
             models media corruption discovered at recovery).
         disk_flip_read_rate: per-position probability of a read flip.
+        rpc_send_drop_rate / rpc_recv_drop_rate: per-attempt probability
+            that a cluster RPC request / reply leg is dropped on the wire
+            (sites ``rpc.send`` / ``rpc.recv``; the channel retries and
+            hedges around the loss — a dropped reply still executed).
+        shard_crash_rate / shard_crashes: probability (or explicit
+            ``(epoch, batch)`` / ``(epoch, batch, shard)`` positions) at
+            which a serving shard's process dies between requests (site
+            ``shard.crash``; triggers heartbeat failover + WAL replay).
+        shard_stall_rate / shard_stalls: probability (or positions) at
+            which a shard enters a stall window multiplying its RPC
+            service time by ``shard_stall_factor`` (site ``shard.stall``).
+        shard_stall_factor: slowdown multiplier for stalled shards.
+        heartbeat_drop_rate / heartbeat_drops: probability (or positions)
+            at which one shard heartbeat is lost (site ``heartbeat.drop``;
+            enough accumulated losses make the detector declare a live
+            shard dead — a spurious failover the cluster must absorb).
         rates: extra ``{decision name: probability}`` entries (see
             :data:`DECISIONS`); unknown names raise ``ValueError``.
         schedules: extra ``{decision name: positions}`` entries; unknown
@@ -198,6 +219,15 @@ class FaultInjector:
         disk_lost_fsync_batches: Iterable[Tuple[int, int]] = (),
         disk_flip_read_batches: Iterable[Tuple[int, int]] = (),
         disk_flip_read_rate: float = 0.0,
+        rpc_send_drop_rate: float = 0.0,
+        rpc_recv_drop_rate: float = 0.0,
+        shard_crash_rate: float = 0.0,
+        shard_crashes: Iterable[Tuple[int, ...]] = (),
+        shard_stall_rate: float = 0.0,
+        shard_stalls: Iterable[Tuple[int, ...]] = (),
+        shard_stall_factor: float = 8.0,
+        heartbeat_drop_rate: float = 0.0,
+        heartbeat_drops: Iterable[Tuple[int, ...]] = (),
         rates: Optional[Dict[str, float]] = None,
         schedules: Optional[Dict[str, Iterable[Tuple[int, ...]]]] = None,
         transient: bool = True,
@@ -213,6 +243,11 @@ class FaultInjector:
             "serve.commit": float(serve_commit_fault_rate),
             "disk.write.torn": float(disk_torn_write_rate),
             "disk.read.flip": float(disk_flip_read_rate),
+            "rpc.send.drop": float(rpc_send_drop_rate),
+            "rpc.recv.drop": float(rpc_recv_drop_rate),
+            "shard.crash": float(shard_crash_rate),
+            "shard.stall": float(shard_stall_rate),
+            "heartbeat.drop": float(heartbeat_drop_rate),
         }
         self.schedules: Dict[str, Set[Tuple[int, ...]]] = {
             "kernel.sample": {tuple(p) for p in kernel_fault_batches},
@@ -229,6 +264,9 @@ class FaultInjector:
             "disk.write.dup": {tuple(p) for p in disk_dup_write_batches},
             "disk.fsync.lost": {tuple(p) for p in disk_lost_fsync_batches},
             "disk.read.flip": {tuple(p) for p in disk_flip_read_batches},
+            "shard.crash": {tuple(p) for p in shard_crashes},
+            "shard.stall": {tuple(p) for p in shard_stalls},
+            "heartbeat.drop": {tuple(p) for p in heartbeat_drops},
         }
         for name, rate in (rates or {}).items():
             self._check_decision(name)
@@ -241,6 +279,7 @@ class FaultInjector:
         for name in list(self.rates) + list(self.schedules):
             self._check_decision(name)
         self.straggler_factor = float(straggler_factor)
+        self.shard_stall_factor = float(shard_stall_factor)
         self.process_kill_at = tuple(process_kill_at) if process_kill_at else None
         self.transient = transient
         self.epoch = 0
@@ -359,6 +398,32 @@ class FaultInjector:
                 "disk.read.flip", detail=str(info.get("path", ""))
             ):
                 return ("flip",) + self._flip_position("disk.read.flip", size)
+        elif site == "rpc.send":
+            if self._fires(
+                "rpc.send.drop", extra=int(info.get("extra", 0)),
+                detail=f"shard {info.get('shard')}",
+            ):
+                return ("drop",)
+        elif site == "rpc.recv":
+            if self._fires(
+                "rpc.recv.drop", extra=int(info.get("extra", 0)),
+                detail=f"shard {info.get('shard')}",
+            ):
+                return ("drop",)
+        elif site == "shard.crash":
+            shard = int(info.get("shard", 0))
+            if self._fires("shard.crash", extra=shard, detail=f"shard {shard}"):
+                return True
+        elif site == "shard.stall":
+            shard = int(info.get("shard", 0))
+            if self._fires("shard.stall", extra=shard, detail=f"shard {shard}"):
+                return self.shard_stall_factor
+        elif site == "heartbeat.drop":
+            if self._fires(
+                "heartbeat.drop", extra=int(info.get("extra", 0)),
+                detail=f"shard {info.get('shard')}",
+            ):
+                return True
         elif site == "optim.step":
             optimizer = info.get("optimizer")
             if optimizer is not None and self._fires("nan_grad"):

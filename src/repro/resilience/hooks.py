@@ -28,6 +28,11 @@ site                 where                                       returns
 ``disk.write``       ``durable.wal`` record append               directive
 ``disk.fsync``       ``durable.wal`` fsync                       directive
 ``disk.read``        ``durable.wal`` replay / cold-tier read     directive
+``rpc.send``         ``cluster.rpc.SimRpc`` request leg          directive
+``rpc.recv``         ``cluster.rpc.SimRpc`` reply leg            directive
+``shard.crash``      ``cluster.coordinator.ServeCluster.step``   bool
+``shard.stall``      ``cluster.coordinator.ServeCluster.step``   factor
+``heartbeat.drop``   ``cluster.supervisor.Supervisor.tick``      bool
 ===================  ==========================================  =========
 
 A site either returns a value (crash/straggler queries, disk-corruption
@@ -60,6 +65,11 @@ SITES: Dict[str, str] = {
     "disk.write": "durable.wal.WriteAheadLog.append",
     "disk.fsync": "durable.wal.WriteAheadLog.sync",
     "disk.read": "durable.wal segment replay / store.tiers.ColdTier.read",
+    "rpc.send": "cluster.rpc.SimRpc.call (request leg)",
+    "rpc.recv": "cluster.rpc.SimRpc.call (reply leg)",
+    "shard.crash": "cluster.coordinator.ServeCluster.step",
+    "shard.stall": "cluster.coordinator.ServeCluster.step",
+    "heartbeat.drop": "cluster.supervisor.Supervisor.tick",
 }
 
 _ACTIVE: Optional[Any] = None

@@ -187,6 +187,7 @@ class ServeRuntime:
             )
         self.results: List[RequestResult] = []
         self._next_rid = 0
+        self._closed = False
         #: hot-swappable scoring table (None = score from raw memory rows).
         self._model_table: Optional[np.ndarray] = None
         self.model_version = 0
@@ -233,8 +234,11 @@ class ServeRuntime:
         if cache.enabled:
             cache.clear()
         if self.feature_store is not None:
-            # Cached tiers hold rows computed under the old table; the
-            # source closure already reads the new one.
+            # Store keys carry the model version as their time coordinate
+            # (see _store_times), so rows staged by an in-flight prefetch
+            # under the old version are unreachable the moment the
+            # version bumps — even if they land *after* this eviction.
+            # The evict then just reclaims their slots.
             self.feature_store.evict("serve:model")
         self.ctx.count("serve:model_swaps", 1)
         return self.model_version
@@ -364,9 +368,21 @@ class ServeRuntime:
             # cached in the store's tiers are stale now.
             nodes = self._valid_nodes(released)
             if len(nodes):
-                self.feature_store.refresh(nodes, "serve:model")
+                self.feature_store.refresh(
+                    nodes, "serve:model", times=self._store_times(len(nodes))
+                )
 
     # ---- tiered feature store ----------------------------------------------------
+
+    def _store_times(self, n: int) -> np.ndarray:
+        """The ``serve:model`` space's time coordinate: the model version.
+
+        Keying cached rows by version makes a hot swap *structurally*
+        invalidate them — rows prefetched under version k can never
+        satisfy a version k+1 lookup, closing the window where a prefetch
+        staged before the swap lands after the swap's eviction.
+        """
+        return np.full(n, float(self.model_version), dtype=np.float64)
 
     def _valid_nodes(self, batch: EventBatch) -> np.ndarray:
         """Deduplicated in-range node ids of *batch* (junk-safe)."""
@@ -384,7 +400,7 @@ class ServeRuntime:
         if not len(nodes):
             return 0.0
         return self.feature_store.estimate_fetch_seconds(
-            nodes, space="serve:model"
+            nodes, times=self._store_times(len(nodes)), space="serve:model"
         )
 
     def _prefetch_next(self) -> None:
@@ -396,13 +412,16 @@ class ServeRuntime:
             return
         nodes = self._valid_nodes(nxt.batch)
         if len(nodes):
-            self.feature_store.prefetch(nodes, space="serve:model")
+            self.feature_store.prefetch(
+                nodes, times=self._store_times(len(nodes)), space="serve:model"
+            )
 
     def _gather_rows(self, nodes: np.ndarray) -> np.ndarray:
         """Scoring-table rows, through the tiered store when opted in."""
         if self.feature_store is not None:
+            nodes = np.asarray(nodes, dtype=np.int64)
             return self.feature_store.get(
-                np.asarray(nodes, dtype=np.int64), space="serve:model"
+                nodes, times=self._store_times(len(nodes)), space="serve:model"
             )
         return self._embed_rows()[nodes]
 
@@ -500,7 +519,15 @@ class ServeRuntime:
         return out
 
     def close(self) -> None:
-        """Flush and close the durable store (no-op without one)."""
+        """Flush and close the durable store; idempotent.
+
+        Cluster teardown closes every replica — including ones already
+        closed by a simulated crash — so double-close must not re-run
+        WAL finalization.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self.store is not None:
             self.store.close()
 

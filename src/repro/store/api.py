@@ -84,6 +84,19 @@ class StoreConfig:
     #: prefetched transfer can hide behind.
     compute_seconds_per_row: float = 2.0e-6
 
+    def __post_init__(self):
+        # The prefetch scheduler currently keeps exactly one batch in
+        # flight; depths beyond 1 would be silently served as depth 1,
+        # so reject them until multi-depth scheduling lands (ROADMAP
+        # item 3) instead of quietly under-delivering.
+        if self.prefetch_depth > 1:
+            raise ValueError(
+                f"prefetch_depth={self.prefetch_depth} is not supported "
+                "yet: the prefetcher schedules at most one batch of "
+                "lookahead, so depths > 1 would silently behave as 1. "
+                "Use prefetch_depth=1 (or 0 to disable)."
+            )
+
     def resolve_rows(self, budget_mb: Optional[float], rows: int,
                      dim: Optional[int]) -> int:
         """Rows for a ``budget_mb``/``rows`` pair given a row width."""

@@ -207,27 +207,32 @@ class TieredFeatureStore:
         sp.cold.rebind(source)
         self.evict(name)
 
-    def refresh(self, nodes: np.ndarray, space: str = "nfeat") -> int:
+    def refresh(self, nodes: np.ndarray, space: str = "nfeat",
+                times: Optional[np.ndarray] = None) -> int:
         """Re-store fresh authority rows for resident keys (invalidation).
 
         Called after a state commit mutates source rows: resident keys
         keep their tier slot but take the new value, so the cache never
-        serves pre-commit data.  Returns the number of rows refreshed.
+        serves pre-commit data.  ``times`` selects which time coordinate
+        the resident keys were stored under (callers that key rows by a
+        version stamp pass it here; the default zeros match rows stored
+        with no explicit times).  Returns the number of rows refreshed.
         """
         sp = self._spaces.get(space)
         if sp is None or not isinstance(sp.cold, SourceTier):
             return 0
-        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
-        times = np.zeros(len(nodes), dtype=np.float64)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        tq = _times_or_zero(nodes, times)
+        nodes, tq, _ = unique_node_times(nodes, tq)
         refreshed = 0
         for tier in (sp.hot, sp.staging):
-            mask = tier.contains(nodes, times)
+            mask = tier.contains(nodes, tq)
             if mask.any():
                 rows = sp.cold.read(nodes[mask], None)
-                tier.store(nodes[mask], times[mask], rows)
+                tier.store(nodes[mask], tq[mask], rows)
                 refreshed += int(mask.sum())
         for i in range(len(nodes)):
-            sp.inflight.pop((int(nodes[i]), 0.0), None)
+            sp.inflight.pop((int(nodes[i]), float(tq[i])), None)
         return refreshed
 
     # ---- bandwidths ---------------------------------------------------------------

@@ -1,0 +1,398 @@
+"""Tests for the sharded serving cluster (`repro.cluster`).
+
+Covers both partitioning policies (determinism, stability between
+rebalance boundaries, balance bounds — property-based via hypothesis),
+the simulated RPC layer (retry/backoff, hedged sends, drop sites), the
+per-shard WAL failover path (crash -> prefix-consistent respawn,
+duplicate-apply idempotence), supervisor failure detection and hot-spot
+rebalancing, and the headline guarantee: under chaos at 16x load with a
+shard killed mid-stream, the cluster keeps serving and its final
+assembled Memory/Mailbox state is bit-identical to a clean
+single-replica replay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterConfig,
+    ReplicaDown,
+    RpcTimeout,
+    ServeCluster,
+    ShardReplica,
+    ShardRouter,
+    SimRpc,
+    hash_shard,
+)
+from repro.core import Mailbox, Memory, TContext, TGraph, TSampler
+from repro.resilience import FaultInjector
+from repro.resilience import hooks
+from repro.serve import (
+    EventBatch,
+    ServeRuntime,
+    SimClock,
+    build_stream,
+    replay,
+    split_batches,
+)
+
+N = 60
+DIM = 8
+
+
+def _stream(events=600, num_nodes=N, seed=1):
+    return build_stream(num_nodes, events, payload_dim=DIM, seed=seed)
+
+
+def _cluster(stream, num_nodes=N, config=None, injector=None, **kw):
+    g = TGraph(stream.src, stream.dst, stream.ts, num_nodes=num_nodes)
+    ctx = TContext(g)
+    kw.setdefault("deadline", 1.0)
+    kw.setdefault("max_queue", 1 << 30)
+    cluster = ServeCluster(
+        g, ctx, TSampler(10, seed=3), DIM,
+        config=config or ClusterConfig(num_shards=4),
+        injector=injector, stream=stream, **kw,
+    )
+    return ctx, cluster
+
+
+def _single_images(stream, batches, num_nodes=N, load=16.0):
+    """Final Memory/Mailbox state of a clean single-runtime replay."""
+    g = TGraph(stream.src, stream.dst, stream.ts, num_nodes=num_nodes)
+    ctx = TContext(g)
+    mem = Memory(num_nodes, DIM)
+    mailbox = Mailbox(num_nodes, DIM)
+    runtime = ServeRuntime(g, ctx, mem, TSampler(10, seed=3), mailbox=mailbox,
+                           deadline=1.0, max_queue=1 << 30)
+    replay(runtime, batches, load=load)
+    return mem, mailbox
+
+
+def _replica(tmp_path, owned, name="shard", **kw):
+    return ShardReplica(0, np.asarray(owned), N, DIM,
+                        str(tmp_path / name), **kw)
+
+
+def _payload_batch(eids, src, dst, ts, seed=0):
+    rng = np.random.default_rng(seed)
+    return EventBatch(np.asarray(eids), np.asarray(src), np.asarray(dst),
+                      np.asarray(ts, dtype=np.float64),
+                      rng.normal(size=(len(eids), DIM)).astype(np.float32))
+
+
+# ---------------------------------------------------------------------------
+# Partitioning (satellite: property-based policy tests)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 500), st.integers(1, 8), st.integers(0, 2**32))
+def test_hash_partition_deterministic_and_in_range(num_nodes, shards, seed):
+    a = ShardRouter.hash(num_nodes, shards, seed=seed)
+    b = ShardRouter.hash(num_nodes, shards, seed=seed)
+    assert np.array_equal(a.assign, b.assign)
+    assert a.assign.min() >= 0 and a.assign.max() < shards
+    # and a pure function of the node id: subsetting agrees with the table
+    nodes = np.arange(num_nodes)
+    assert np.array_equal(hash_shard(nodes, shards, seed=seed), a.assign)
+
+
+@st.composite
+def zipf_streams(draw):
+    """Heavily skewed (zipf-like) event streams over a small node set."""
+    num_nodes = draw(st.integers(4, 80))
+    num_events = draw(st.integers(1, 400))
+    shards = draw(st.integers(1, min(6, num_nodes)))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    # zipf ranks clipped into the node range: a few nodes get most events
+    src = np.minimum(rng.zipf(1.5, size=num_events) - 1, num_nodes - 1)
+    dst = np.minimum(rng.zipf(1.5, size=num_events) - 1, num_nodes - 1)
+    ts = np.sort(rng.uniform(0, 1e3, size=num_events))
+    return num_nodes, shards, src.astype(np.int64), dst.astype(np.int64), ts
+
+
+@settings(max_examples=30, deadline=None)
+@given(zipf_streams())
+def test_temporal_partition_deterministic_and_balanced(case):
+    num_nodes, shards, src, dst, ts = case
+    a = ShardRouter.temporal(src, dst, ts, num_nodes, shards)
+    b = ShardRouter.temporal(src, dst, ts, num_nodes, shards)
+    # deterministic across runs
+    assert np.array_equal(a.assign, b.assign)
+    assert (a.counts() > 0).all()
+    # balance: no shard's event weight exceeds total/N + w_max, i.e. it is
+    # within 2x of the makespan lower bound max(total/N, w_max) even on
+    # zipf-skewed streams.
+    weight = np.zeros(num_nodes)
+    for ends in (src, dst):
+        np.add.at(weight, ends, 1.0)
+    shard_w = np.bincount(a.assign, weights=weight, minlength=shards)
+    total, w_max = weight.sum(), weight.max()
+    assert shard_w.max() <= total / shards + w_max + 1e-9
+    assert shard_w.max() <= 2 * max(total / shards, w_max) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(8, 200), st.integers(2, 6), st.integers(0, 2**16))
+def test_assignment_stable_except_at_move_boundaries(num_nodes, shards, seed):
+    router = ShardRouter.hash(num_nodes, shards, seed=seed)
+    before = router.assign.copy()
+    # queries never mutate the table
+    router.shard_of(np.arange(num_nodes))
+    router.counts()
+    router.owned_nodes(0)
+    assert router.version == 0
+    assert np.array_equal(router.assign, before)
+    # a move changes exactly the moved nodes and bumps the version
+    rng = np.random.default_rng(seed)
+    moved = rng.choice(num_nodes, size=min(3, num_nodes), replace=False)
+    dst = (int(before[moved[0]]) + 1) % shards
+    router.move(moved, dst)
+    assert router.version == 1
+    untouched = np.setdiff1d(np.arange(num_nodes), moved)
+    assert np.array_equal(router.assign[untouched], before[untouched])
+    assert (router.assign[moved] == dst).all()
+
+
+def test_split_batch_covers_every_event_once_per_owner():
+    stream = _stream(200)
+    router = ShardRouter.hash(N, 4, seed=0)
+    batch = split_batches(stream, 50)[0]
+    subs = router.split_batch(batch)
+    # every event lands in the sub-batch of each shard owning an endpoint
+    for shard, sub in subs.items():
+        owners = set(router.owned_nodes(shard).tolist())
+        assert all(int(s) in owners or int(d) in owners
+                   for s, d in zip(sub.src, sub.dst))
+    covered = set()
+    for sub in subs.values():
+        covered.update(sub.eids.tolist())
+    assert covered == set(batch.eids.tolist())
+
+
+# ---------------------------------------------------------------------------
+# RPC: timeouts, retries, hedging
+# ---------------------------------------------------------------------------
+
+def test_rpc_dead_host_exhausts_retries_and_raises():
+    rpc = SimRpc(SimClock(), retries=2)
+    with pytest.raises(RpcTimeout):
+        rpc.call(0, alive=False)
+    assert rpc.stats.retries == 2
+    assert rpc.stats.timeouts == 3
+    assert rpc.stats.failures == 1
+
+
+def test_rpc_hedge_wins_when_primary_leg_is_lost():
+    class DropPrimary:
+        """Drop exactly the first attempt's request leg, not the hedge."""
+        def poke(self, site, **info):
+            if site == "rpc.send" and info.get("extra") == 7:
+                return ("drop",)
+            return None
+
+    stub = DropPrimary()
+    hooks.install(stub)
+    try:
+        rpc = SimRpc(SimClock(), retries=0)
+        elapsed = rpc.call(3, extra=7)
+    finally:
+        hooks.uninstall(stub)
+    assert rpc.stats.hedges == 1
+    assert rpc.stats.hedge_wins == 1
+    assert rpc.stats.dropped_sends == 1
+    assert rpc.stats.failures == 0
+    assert elapsed == pytest.approx(rpc.hedge_delay + rpc.service)
+
+
+def test_rpc_delivers_exactly_once_per_successful_leg():
+    deliveries = []
+    rpc = SimRpc(SimClock(), hedge_delay=None)
+    rpc.call(0, on_deliver=lambda: deliveries.append(1))
+    assert len(deliveries) == 1
+
+
+# ---------------------------------------------------------------------------
+# Replica: WAL failover and idempotence
+# ---------------------------------------------------------------------------
+
+def test_replica_crash_respawn_is_bit_identical(tmp_path):
+    owned = np.arange(0, N, 2)
+    rep = _replica(tmp_path, owned, snapshot_every=3)
+    for seq in range(7):
+        batch = _payload_batch([seq], [2 * seq % N], [(2 * seq + 1) % N],
+                               [float(seq)], seed=seq)
+        assert rep.apply(batch, seq)
+    mem_before = rep.memory.data.data.copy()
+    time_before = rep.memory.time.copy()
+    mail_before = rep.mailbox.mail.data.copy()
+
+    rep.crash()
+    assert not rep.alive
+    with pytest.raises(ReplicaDown):
+        rep.gather(owned[:1])
+    info = rep.respawn()
+    assert rep.alive and rep.last_seq == 6
+    # snapshot_every=3 means the WAL suffix past the last snapshot replays
+    assert info["replayed"] == rep._since_snapshot
+    assert np.array_equal(rep.memory.data.data, mem_before)
+    assert np.array_equal(rep.memory.time, time_before)
+    assert np.array_equal(rep.mailbox.mail.data, mail_before)
+
+
+def test_replica_duplicate_apply_is_a_noop(tmp_path):
+    rep = _replica(tmp_path, np.arange(N))
+    batch = _payload_batch([0], [1], [2], [1.0])
+    assert rep.apply(batch, 0)
+    snap = rep.memory.data.data.copy()
+    # redelivery (hedge double-delivery, retry after lost ack): no-op
+    assert not rep.apply(batch, 0)
+    assert rep.duplicate_batches == 1
+    assert np.array_equal(rep.memory.data.data, snap)
+    assert rep.applied_batches == 1
+
+
+def test_replica_release_adopt_preserves_rows(tmp_path):
+    a = _replica(tmp_path, np.arange(0, 30), name="a")
+    b = _replica(tmp_path, np.arange(30, N), name="b")
+    batch = _payload_batch([0, 1], [3, 7], [5, 9], [1.0, 2.0])
+    a.apply(batch, 0)
+    moved = np.array([3, 5])
+    rows_before = a.gather(moved).copy()
+    state = a.release(moved)
+    b.adopt(state)
+    assert np.array_equal(b.gather(moved), rows_before)
+    with pytest.raises(KeyError):
+        a.gather(moved)
+
+
+# ---------------------------------------------------------------------------
+# Cluster: clean-path equivalence and scoring
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("partition", ["hash", "temporal"])
+def test_cluster_matches_single_runtime_clean(partition):
+    stream = _stream(400)
+    batches = split_batches(stream, 40)
+    config = ClusterConfig(num_shards=4, partition=partition)
+    ctx, cluster = _cluster(stream, config=config)
+    with cluster:
+        results = replay(cluster, batches, load=16.0)
+        assert all(r.status == "ok" for r in results)
+        data, times = cluster.memory_image()
+        mail, mtime, _ = cluster.mailbox_image()
+    mem, mailbox = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
+    assert np.array_equal(mailbox.mail.data, mail)
+    assert np.array_equal(mailbox.time, mtime)
+
+
+def test_cluster_chaos_equivalence_with_shard_kill():
+    """The headline guarantee: 16x load, a shard killed mid-stream, RPC
+    drops, a stall window and heartbeat loss — the cluster keeps serving
+    and converges to the exact single-replica state."""
+    stream = _stream(600)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(
+        seed=7,
+        shard_crashes={(0, 5, 1)},
+        shard_stalls={(0, 8, 2)},
+        rpc_send_drop_rate=0.05,
+        rpc_recv_drop_rate=0.05,
+        heartbeat_drop_rate=0.02,
+    )
+    ctx, cluster = _cluster(stream, injector=injector)
+    with cluster, injector:
+        results = replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        data, times = cluster.memory_image()
+        mail, mtime, _ = cluster.mailbox_image()
+    # the kill really happened, failover really ran
+    assert stats["cluster:injected_crashes"] >= 1
+    assert stats["cluster:failovers"] >= 1
+    assert stats["cluster:recoveries"] >= 1
+    assert stats["cluster:pending_applies"] == 0
+    # service continued: every request completed (degraded, not dropped)
+    assert all(r.status == "ok" for r in results)
+    assert stats["cluster:partial_results"] > 0
+    mem, mailbox = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
+    assert np.array_equal(mailbox.mail.data, mail)
+    assert np.array_equal(mailbox.time, mtime)
+
+
+def test_cluster_partial_results_while_shard_down():
+    stream = _stream(300)
+    batches = split_batches(stream, 30)
+    ctx, cluster = _cluster(stream)
+    with cluster:
+        # kill a shard out-of-band and serve one request before the
+        # supervisor can possibly have respawned it
+        cluster.replicas[2].crash()
+        cluster.submit(batches[0])
+        result = cluster.step()
+        assert result is not None and result.status == "ok"
+        assert cluster.partial_results > 0
+        assert cluster.pending_applies() > 0 or cluster.deferred_applies > 0
+        # drain settles every recovery and redelivers deferred applies
+        replay(cluster, batches[1:], load=16.0)
+        assert cluster.pending_applies() == 0
+        assert all(rep.alive for rep in cluster.replicas)
+        assert cluster.redelivered > 0
+
+
+def test_cluster_rebalance_moves_hot_nodes_and_preserves_state():
+    stream = _stream(200)
+    config = ClusterConfig(
+        num_shards=4,
+        rebalance_window=1e-3,
+        rebalance_patience=1,
+        rebalance_factor=1.5,
+    )
+    ctx, cluster = _cluster(stream, config=config)
+    with cluster:
+        hot = int(np.argmax(cluster.router.counts()))
+        hot_nodes = cluster.router.owned_nodes(hot)
+        # apply one real batch so moved rows carry non-zero state
+        batch = _payload_batch([0, 1], hot_nodes[:2], hot_nodes[2:4], [1.0, 2.0])
+        cluster.replicas[hot].apply(batch, 0)
+        rows_before = cluster.replicas[hot].gather(hot_nodes[:2]).copy()
+        # fake a sustained hot spot on that shard, tick across windows
+        for _ in range(4):
+            cluster.supervisor.note_load(hot, 1000, nodes=hot_nodes[:8])
+            cluster.clock.advance(2e-3)
+            cluster.supervisor.tick()
+        stats = cluster.supervisor.stats
+        assert stats.rebalances >= 1
+        assert stats.nodes_moved > 0
+        assert cluster.router.version >= 1
+        # moved rows are still served, from whichever shard owns them now
+        for i, node in enumerate(hot_nodes[:2]):
+            owner = int(cluster.router.shard_of(np.array([node]))[0])
+            row = cluster.replicas[owner].gather(np.array([node]))[0]
+            assert np.array_equal(row, rows_before[i])
+
+
+def test_sharded_cost_model_divides_by_live_shards():
+    stream = _stream(100)
+    ctx, cluster = _cluster(stream, config=ClusterConfig(num_shards=4))
+    with cluster:
+        model = cluster.ladder.cost_model
+        c4 = model.estimate("full", 128)
+        cluster.replicas[0].crash()
+        cluster.replicas[1].crash()
+        c2 = model.estimate("full", 128)
+    assert c2 > c4  # fewer live shards -> less parallelism -> costlier
+
+
+def test_cluster_close_is_idempotent():
+    stream = _stream(100)
+    ctx, cluster = _cluster(stream)
+    replay(cluster, split_batches(stream, 50), load=4.0)
+    cluster.close()
+    cluster.close()  # second close must be a no-op
+    assert all(rep.store is None for rep in cluster.replicas)

@@ -455,3 +455,65 @@ class TestChaos:
         st = rt.ingest.stats
         assert st.pushed == st.accepted + st.duplicates + st.quarantined_total
         assert validate_state(rt.graph, rt.ctx) == []
+
+
+class TestModelSwapStoreInvalidation:
+    def test_swap_invalidates_in_flight_prefetch(self):
+        """A prefetch staged under model version k must never satisfy a
+        post-swap (version k+1) gather, even when its transfer lands
+        after the swap's eviction ran."""
+        stream = build_stream(N, 100, payload_dim=DIM, seed=21)
+        rt = _runtime(stream, feature_store=True)
+        old = np.full((N, DIM), 1.0, dtype=np.float32)
+        new = np.full((N, DIM), 2.0, dtype=np.float32)
+        rt.swap_model(old)
+        nodes = np.arange(5, dtype=np.int64)
+        stale_times = rt._store_times(len(nodes))
+        # an in-flight prefetch staged under the old version...
+        rt.feature_store.prefetch(nodes, times=stale_times,
+                                  space="serve:model")
+        rt.swap_model(new)  # evicts while the transfer is in flight
+        rt.clock.advance(10.0)
+        # ...simulate the worst case: the stale rows land *after* the
+        # eviction, still keyed by the old version
+        rt.feature_store.put(nodes, stale_times, old[nodes],
+                             space="serve:model")
+        # post-swap gathers carry the new version in their key: the stale
+        # rows are structurally unreachable, so the rows resolve through
+        # the (new) authority instead
+        np.testing.assert_array_equal(rt._gather_rows(nodes), new[nodes])
+        # ...even though the stale rows really are resident in the hot
+        # tier under the old version's key
+        before = rt.feature_store.stats().tiers["hot"].hits
+        _, stale_rows = rt.feature_store.lookup(nodes, stale_times,
+                                                space="serve:model")
+        assert rt.feature_store.stats().tiers["hot"].hits - before >= len(nodes)
+        np.testing.assert_array_equal(stale_rows, old[nodes])
+
+    def test_swap_mid_stream_serves_new_table_through_store(self):
+        stream = build_stream(N, 200, payload_dim=DIM, seed=22)
+        batches = split_batches(stream, 25)
+        rt = _runtime(stream, feature_store=True)
+        replay(rt, batches[:4], load=1.0)
+        table = np.full((N, DIM), 3.0, dtype=np.float32)
+        version = rt.swap_model(table)
+        assert version == 1
+        results = replay(rt, batches[4:], load=1.0)
+        assert all(r.status == "ok" for r in results[-4:])
+        nodes = np.arange(8, dtype=np.int64)
+        np.testing.assert_array_equal(rt._gather_rows(nodes), table[nodes])
+
+
+class TestRuntimeLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        stream = build_stream(N, 60, payload_dim=DIM, seed=23)
+        rt = _runtime(stream, durable_dir=str(tmp_path / "wal"))
+        replay(rt, split_batches(stream, 20), load=1.0)
+        rt.close()
+        rt.close()  # cluster teardown double-closes: must be a no-op
+
+    def test_close_without_durable_store_is_safe(self):
+        stream = build_stream(N, 60, payload_dim=DIM, seed=23)
+        rt = _runtime(stream)
+        rt.close()
+        rt.close()

@@ -490,3 +490,20 @@ class TestStatsSurface:
         for key in ("hot:bytes_in", "staging:bytes_in", "cold:bytes_in",
                     "prefetch_issued", "stall_seconds", "stall_saved_seconds"):
             assert key in flat
+
+
+class TestPrefetchDepthGuard:
+    """`prefetch_depth > 1` must fail loudly, not silently behave as 1."""
+
+    def test_depth_above_one_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="prefetch_depth=2"):
+            StoreConfig(prefetch_depth=2)
+
+    def test_with_overrides_revalidates(self):
+        cfg = StoreConfig(prefetch_depth=1)
+        with pytest.raises(ValueError, match="prefetch_depth=3"):
+            cfg.with_overrides(prefetch_depth=3)
+
+    def test_supported_depths_accepted(self):
+        assert StoreConfig(prefetch_depth=0).prefetch_depth == 0
+        assert StoreConfig(prefetch_depth=1).prefetch_depth == 1
