@@ -1,15 +1,20 @@
 """``python -m repro.bench serve-cluster``: sharded serving under chaos.
 
 Replays an event stream through a :class:`~repro.cluster.ServeCluster`
-at a chosen offered load, optionally arming the shard-level fault sites
-(``--chaos`` kills and stalls shards and drops RPC legs/heartbeats
-mid-stream), and prints per-shard plus cluster-level statistics:
-failovers, retries, hedge wins, rebalance events, and p50/p99 latency.
+at a chosen offered load, optionally replicating each shard
+(``--replication-factor N`` puts a primary plus N-1 lease-fenced
+followers on distinct hosts) and arming the shard-level fault sites
+(``--chaos`` kills and stalls group members and drops RPC legs,
+log-shipping legs, and heartbeats mid-stream), and prints per-shard plus
+cluster-level statistics: failovers, promotions, quorum commits, retries,
+hedge wins, rebalance events, read availability, and p50/p99 latency.
 
 ``--check-equivalence`` additionally replays the same stream through a
 clean single :class:`~repro.serve.runtime.ServeRuntime` and requires the
 cluster's assembled final ``Memory``/``Mailbox`` state to be
-bit-identical — the cluster-level recovery guarantee.
+bit-identical — the cluster-level recovery guarantee.  With
+``--replication-factor >= 2`` it also requires that no read was ever
+zero-filled (reads must fail over to surviving members).
 """
 
 from __future__ import annotations
@@ -29,7 +34,20 @@ def build_serve_cluster_parser() -> argparse.ArgumentParser:
         description="Replay an event stream through the sharded serving cluster.",
     )
     parser.add_argument("--shards", type=int, default=4,
-                        help="number of shard replicas")
+                        help="number of shard replica groups")
+    parser.add_argument("--replication-factor", type=int, default=1,
+                        help="members per shard group (1 primary + N-1 "
+                             "followers on distinct hosts)")
+    parser.add_argument("--ack-quorum", type=int, default=None,
+                        help="durable-append acks per quorum commit "
+                             "(default: majority)")
+    parser.add_argument("--staleness-bound", choices=("bounded", "strict"),
+                        default="bounded",
+                        help="'bounded' follower reads lag by their queue; "
+                             "'strict' forces promotion before reading")
+    parser.add_argument("--legacy-partials", action="store_true",
+                        help="disable the per-row validity mask "
+                             "(strict_partials=False legacy behavior)")
     parser.add_argument("--partition", choices=("hash", "temporal"),
                         default="hash", help="node partitioning policy")
     parser.add_argument("--dataset", choices=available_datasets(), default=None,
@@ -68,8 +86,12 @@ def build_serve_cluster_parser() -> argparse.ArgumentParser:
                         help="arm the shard fault sites: shard kills + "
                              "stalls, RPC drops, heartbeat loss")
     parser.add_argument("--kill-shard", type=int, default=None, metavar="S",
-                        help="deterministically kill shard S mid-stream "
-                             "(at the request 1/3 into the replay)")
+                        help="deterministically kill shard S's primary "
+                             "mid-stream (at the request 1/3 into the replay)")
+    parser.add_argument("--kill-follower", type=int, default=None, metavar="S",
+                        help="deterministically kill shard S's first "
+                             "follower mid-stream (needs "
+                             "--replication-factor >= 2)")
     parser.add_argument("--stall-shard", type=int, default=None, metavar="S",
                         help="deterministically stall shard S mid-stream")
     parser.add_argument("--check-equivalence", action="store_true",
@@ -108,6 +130,10 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
         num_shards=args.shards,
         partition=args.partition,
         seed=args.seed,
+        replication_factor=args.replication_factor,
+        ack_quorum=args.ack_quorum,
+        staleness_bound=args.staleness_bound,
+        strict_partials=not args.legacy_partials,
         hedge_delay=None if args.hedge_delay < 0 else args.hedge_delay,
         heartbeat_interval=args.heartbeat_interval,
         durable_root=args.durable_root,
@@ -118,14 +144,26 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
     injector = None
     schedules = {}
     if args.kill_shard is not None:
+        # member 0 (the primary) keeps the legacy extra == shard id
         schedules.setdefault("shard_crashes", set()).add(
             (0, max(1, len(batches) // 3), args.kill_shard)
+        )
+    if args.kill_follower is not None:
+        if args.replication_factor < 2:
+            print("--kill-follower needs --replication-factor >= 2",
+                  file=sys.stderr)
+            return 2
+        # follower m of shard S is killed via extra = S + shards * m
+        schedules.setdefault("shard_crashes", set()).add(
+            (0, max(1, len(batches) // 3),
+             args.kill_follower + args.shards * 1)
         )
     if args.stall_shard is not None:
         schedules.setdefault("shard_stalls", set()).add(
             (0, max(1, len(batches) // 4), args.stall_shard)
         )
     if args.chaos or schedules:
+        replicated = args.chaos and args.replication_factor > 1
         injector = FaultInjector(
             seed=args.seed,
             rpc_send_drop_rate=0.03 if args.chaos else 0.0,
@@ -133,6 +171,9 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
             shard_crash_rate=0.002 if args.chaos else 0.0,
             shard_stall_rate=0.01 if args.chaos else 0.0,
             heartbeat_drop_rate=0.02 if args.chaos else 0.0,
+            repl_ship_drop_rate=0.02 if replicated else 0.0,
+            repl_ack_drop_rate=0.02 if replicated else 0.0,
+            repl_promote_delay_rate=0.05 if replicated else 0.0,
             shard_crashes=schedules.get("shard_crashes", ()),
             shard_stalls=schedules.get("shard_stalls", ()),
         )
@@ -149,7 +190,8 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
     )
 
     print(f"replaying {len(stream)} events in {len(batches)} requests "
-          f"over {args.shards} shards ({args.partition}) at {args.load:g}x load")
+          f"over {args.shards} shards x {args.replication_factor} replicas "
+          f"({args.partition}) at {args.load:g}x load")
     if injector is not None:
         with injector:
             results = replay(cluster, batches, load=args.load)
@@ -169,7 +211,24 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
     if injector is not None:
         print(f"  chaos: {len(injector.log)} faults fired")
 
+    zero_rows = int(ctx.counters.get("serve:zero_rows", 0))
+    served_ok = [r for r in results if r.status == "ok"]
+    fully_valid = sum(
+        1 for r in served_ok if r.valid is None or bool(r.valid.all())
+    )
+    availability = fully_valid / max(1, len(results))
+    print(f"  read availability: {availability:.4f} "
+          f"({fully_valid}/{len(results)} requests fully valid, "
+          f"{zero_rows} zero-filled rows)")
+
     failures = []
+    if args.check_equivalence and args.replication_factor >= 2:
+        # With a surviving member per group, no read may ever zero-fill.
+        if zero_rows > 0:
+            failures.append(
+                f"{zero_rows} rows zero-filled despite replication factor "
+                f"{args.replication_factor} (reads must fail over)"
+            )
     if args.check_equivalence:
         data, times = cluster.memory_image()
         mb_image = cluster.mailbox_image()

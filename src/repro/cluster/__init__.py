@@ -1,29 +1,35 @@
 """Fault-tolerant sharded serving on a deterministic simulated clock.
 
 The cluster layer partitions the serving state (``Memory`` / ``Mailbox``)
-across N shard replicas, each with its own write-ahead log, and keeps the
-whole thing serving through shard crashes, stalls, and lossy RPC:
+across N shards — each a lease-fenced **replica group** of
+``replication_factor`` members on distinct hosts, every member with its
+own write-ahead log — and keeps the whole thing serving through member
+crashes, stalls, and lossy RPC:
 
 ========================  ========================================================
 component                 role
 ========================  ========================================================
 :class:`ShardRouter`      node -> shard assignment (hash / temporal-locality)
-:class:`ShardReplica`     one shard's state slice + private WAL + liveness
+:class:`ShardReplica`     one group member's state slice + private WAL + liveness
+:class:`ReplicaGroup`     primary + followers, quorum log shipping, promotion
 :class:`SimRpc`           lossy RPC with timeout, retry, backoff, hedging
-:class:`Supervisor`       heartbeat failure detection, failover, rebalance
+:class:`Supervisor`       heartbeat detection, lease-fenced promotion, rebalance
 :class:`ServeCluster`     coordinator mirroring the ``ServeRuntime`` surface
 ========================  ========================================================
 
 All failure behavior routes through the shared ``FaultInjector`` sites
 (``rpc.send``, ``rpc.recv``, ``shard.crash``, ``shard.stall``,
-``heartbeat.drop``), so chaos schedules are deterministic and the
-committed state after any schedule is bit-identical to a clean
-single-runtime replay (see ``tests/test_cluster.py``).
+``heartbeat.drop``, ``repl.ship``, ``repl.ack``, ``repl.promote``), so
+chaos schedules are deterministic and the committed state after any
+schedule — killing up to ``replication_factor - 1`` members per group —
+is bit-identical to a clean single-runtime replay, with reads failing
+over to followers instead of zero-filling (see ``tests/test_cluster.py``).
 """
 
 from .coordinator import ClusterConfig, ServeCluster, ShardedCostModel
-from .partition import ShardRouter, hash_shard
-from .replica import ReplicaDown, ShardReplica
+from .partition import ShardRouter, hash_shard, place_group_hosts
+from .replica import ReplicaDown, ShardReplica, StaleLeaseError
+from .replication import ReplicaGroup
 from .rpc import RpcStats, RpcTimeout, SimRpc
 from .supervisor import ShardState, Supervisor, SupervisorStats
 
@@ -33,8 +39,11 @@ __all__ = [
     "ShardedCostModel",
     "ShardRouter",
     "hash_shard",
+    "place_group_hosts",
     "ReplicaDown",
     "ShardReplica",
+    "StaleLeaseError",
+    "ReplicaGroup",
     "RpcStats",
     "RpcTimeout",
     "SimRpc",

@@ -6,29 +6,47 @@ surface (``submit`` / ``step`` / ``drain`` / ``results`` / ``stats`` /
 cluster unchanged — but behind that surface each request fans out over N
 :class:`~repro.cluster.replica.ShardReplica`s:
 
-* **Scoring** is a scatter-gather read: the request's node rows are
-  fetched from their owning shards over :class:`~repro.cluster.rpc.SimRpc`
-  (timeout + retry + hedging).  A shard that is down, recovering, or
-  unreachable contributes zero rows and the response is marked *partial*
-  — the cluster answers with reduced fanout instead of failing.
+Each shard is a :class:`~repro.cluster.replication.ReplicaGroup` —
+``replication_factor`` members on distinct hosts, one primary plus
+followers — and the request path uses the group at both ends:
+
+* **Scoring** is a scatter-gather read with **failover**: each touched
+  shard's rows come from its preferred read member
+  (:meth:`~repro.cluster.replication.ReplicaGroup.read_member`) over
+  :class:`~repro.cluster.rpc.SimRpc` (timeout + retry + hedging); when
+  that member is unreachable the gather retries the remaining serving
+  members, so reads survive the detection→promotion window that a
+  factor-1 cluster zero-fills.  Only when *every* member of a group is
+  down do that shard's rows zero-fill — and then the response carries a
+  per-row ``valid`` mask (rows from dead groups marked invalid) instead
+  of silently serving zeros; ``strict_partials=False`` restores the
+  legacy unmarked behavior.  ``staleness_bound`` picks between
+  ``'bounded'`` follower reads (lag at most the follower's parked queue)
+  and ``'strict'`` read-your-commits (block the gather on promotion).
 * **Commits** are validated once at the coordinator (the same staged-NaN
   poison check the single runtime's post-apply validation would trip),
-  stamped with a cluster sequence number, then routed to each touched
-  shard, which WAL-logs its ownership-filtered sub-batch before applying
-  it.  A sub-batch that cannot be delivered (shard dead or RPC budget
-  exhausted) parks in that shard's pending queue and is redelivered —
-  idempotently, by sequence number — when the shard rejoins.
+  stamped with a cluster sequence number, then **quorum log-shipped** to
+  every member of each touched group
+  (:meth:`~repro.cluster.replication.ReplicaGroup.ship`): each member
+  WAL-logs its ownership-filtered sub-batch before applying it, and the
+  commit is quorum-acked when ``ack_quorum`` members confirmed the
+  durable append.  A member that cannot take the record now (down,
+  dropped ship, RPC budget exhausted) gets it parked in its in-order
+  queue and redelivered — idempotently, by sequence number — when it
+  rejoins.
 * **Failures** are injected between requests (``shard.crash`` /
-  ``shard.stall``) and detected by the
+  ``shard.stall``, per member) and detected by the
   :class:`~repro.cluster.supervisor.Supervisor`'s heartbeat loop, which
-  drives WAL-replay takeover and hot-spot rebalancing.
+  drives lease-fenced promotion of the best follower, WAL-replay
+  respawn + re-replication of dead members, and hot-spot rebalancing.
 
-Because every replica applies exactly the committed event sequence
-(eventually — pending queues drain before :meth:`drain` returns) through
+Because every group member applies exactly the committed event sequence
+(eventually — member queues drain before :meth:`drain` returns) through
 the same content-deterministic staging path, the assembled
 :meth:`memory_image` / :meth:`mailbox_image` after any chaos schedule is
 bit-identical to a clean single-runtime replay of the same admitted
-stream.
+stream — at any replication factor, killing up to ``factor - 1`` members
+per group.
 """
 
 from __future__ import annotations
@@ -49,8 +67,9 @@ from ..serve.deadline import CostModel, DegradationLadder
 from ..serve.events import EventBatch, RejectReason, validate_events
 from ..serve.ingest import IngestPipeline
 from ..serve.runtime import Request, RequestResult
-from .partition import ShardRouter
+from .partition import ShardRouter, place_group_hosts
 from .replica import ReplicaDown, ShardReplica
+from .replication import ReplicaGroup
 from .rpc import RpcTimeout, SimRpc
 from .supervisor import Supervisor
 
@@ -71,6 +90,13 @@ class ClusterConfig:
     num_shards: int = 4
     partition: str = "hash"  # 'hash' | 'temporal'
     seed: int = 0
+    # replication (factor 1 == the legacy single-replica cluster)
+    replication_factor: int = 1
+    ack_quorum: Optional[int] = None  # None -> majority (factor//2 + 1)
+    staleness_bound: str = "bounded"  # 'bounded' | 'strict'
+    strict_partials: bool = True  # False -> legacy unmarked zero-fill
+    promote_seconds: float = 2.0e-3
+    num_hosts: Optional[int] = None  # None -> max(shards, factor)
     # RPC channel
     rpc_service: float = 2.0e-4
     rpc_timeout: float = 2.0e-3
@@ -90,6 +116,7 @@ class ClusterConfig:
     rebalance_factor: float = 2.0
     rebalance_patience: int = 2
     rebalance_max_fraction: float = 0.25
+    rebalance_handoff_seconds: float = 2.0e-3
     # durability
     durable_root: Optional[str] = None  # None -> private temp dir
     fsync: str = "batch"
@@ -98,6 +125,13 @@ class ClusterConfig:
     def __post_init__(self):
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.staleness_bound not in ("bounded", "strict"):
+            raise ValueError(
+                f"staleness_bound {self.staleness_bound!r} "
+                "(expected 'bounded' or 'strict')"
+            )
 
 
 class ShardedCostModel:
@@ -190,31 +224,45 @@ class ServeCluster:
         if root is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
             root = self._tmpdir.name
-        self.replicas: List[ShardReplica] = [
-            ShardReplica(
-                i, self.router.owned_nodes(i), graph.num_nodes, self.dim,
-                os.path.join(root, f"shard{i:03d}"),
-                mailbox_slots=mailbox_slots, fsync=cfg.fsync,
-                snapshot_every=cfg.snapshot_every,
+        hosts = place_group_hosts(
+            cfg.num_shards, cfg.replication_factor, num_hosts=cfg.num_hosts
+        )
+        self.groups: List[ReplicaGroup] = []
+        for i in range(cfg.num_shards):
+            members = [
+                ShardReplica(
+                    i, self.router.owned_nodes(i), graph.num_nodes, self.dim,
+                    # member 0 keeps the legacy directory name so factor-1
+                    # durable layouts are unchanged on disk
+                    os.path.join(
+                        root, f"shard{i:03d}" + ("" if m == 0 else f"-r{m}")
+                    ),
+                    mailbox_slots=mailbox_slots, fsync=cfg.fsync,
+                    snapshot_every=cfg.snapshot_every,
+                    member_id=m, host=hosts[i][m],
+                )
+                for m in range(cfg.replication_factor)
+            ]
+            self.groups.append(
+                ReplicaGroup(i, members, ack_quorum=cfg.ack_quorum)
             )
-            for i in range(cfg.num_shards)
-        ]
         self.rpc = SimRpc(
             self.clock, service=cfg.rpc_service, timeout=cfg.rpc_timeout,
             retries=cfg.rpc_retries, backoff=cfg.rpc_backoff,
             hedge_delay=cfg.hedge_delay,
         )
         self.supervisor = Supervisor(
-            self.clock, self.replicas, self.router,
+            self.clock, self.groups, self.router,
             heartbeat_interval=cfg.heartbeat_interval,
             suspect_phi=cfg.suspect_phi, dead_phi=cfg.dead_phi,
             recovery_base=cfg.recovery_base,
             recovery_per_batch=cfg.recovery_per_batch,
+            promote_seconds=cfg.promote_seconds,
             rebalance_window=cfg.rebalance_window,
             rebalance_factor=cfg.rebalance_factor,
             rebalance_patience=cfg.rebalance_patience,
             rebalance_max_fraction=cfg.rebalance_max_fraction,
-            on_recovered=self._drain_pending,
+            rebalance_handoff_seconds=cfg.rebalance_handoff_seconds,
         )
         self.ladder = ladder or DegradationLadder(
             full_fanout=sampler.num_nbrs,
@@ -235,42 +283,68 @@ class ServeCluster:
         #: cluster commit sequence; every shard sub-batch carries it.
         self.seq = -1
         self.committed_watermark = -np.inf
-        #: per-shard queues of ``(seq, sub_batch)`` awaiting redelivery.
-        self._pending: Dict[int, List] = {
-            i: [] for i in range(cfg.num_shards)
-        }
         # cluster counters
         self.commits = 0
         self.commit_retries = 0
         self.rollbacks = 0
         self.partial_results = 0
-        self.deferred_applies = 0
-        self.redelivered = 0
         self.injected_crashes = 0
         self.injected_stalls = 0
+        #: endpoint rows served as zeros because a whole group was down.
+        self.zero_rows = 0
+        #: gathers answered by a follower instead of the primary.
+        self.follower_reads = 0
+        #: summed ``committed_seq - follower.last_seq`` over follower reads.
+        self.staleness_lag = 0
+        #: strict-staleness gathers that forced a promotion first.
+        self.strict_fallbacks = 0
 
     # ---- liveness ------------------------------------------------------------------
 
+    @property
+    def replicas(self) -> List[ShardReplica]:
+        """Each group's current primary (the legacy single-replica view)."""
+        return [g.primary for g in self.groups]
+
+    @property
+    def deferred_applies(self) -> int:
+        return sum(g.deferred for g in self.groups)
+
+    @property
+    def redelivered(self) -> int:
+        return sum(g.redelivered for g in self.groups)
+
     def live_shards(self) -> int:
-        """Shards currently able to serve gathers and applies."""
-        return sum(
-            1 for rep in self.replicas if rep.alive and not rep.recovering
-        )
+        """Shards with at least one member able to serve right now."""
+        return sum(1 for g in self.groups if g.any_serving())
 
     def _chaos(self) -> None:
-        """Consult the shard-level fault sites (between requests)."""
+        """Consult the shard-level fault sites (between requests).
+
+        Every group member is its own kill/stall target: the decision
+        extra is ``shard + num_shards * member``, so member 0 of shard i
+        keeps the factor-1 extra ``i`` (schedules written for the
+        single-replica cluster target the same primary), and a schedule
+        entry ``(epoch, batch, shard + num_shards * m)`` kills exactly
+        follower ``m``.
+        """
         now = self.clock.now()
-        for i, rep in enumerate(self.replicas):
-            if rep.alive and _poke("shard.crash", shard=i, extra=i):
-                rep.crash()
-                self.injected_crashes += 1
-        for i, rep in enumerate(self.replicas):
-            if not rep.alive or rep.recovering:
-                continue
-            factor = _poke("shard.stall", shard=i, extra=i)
-            if factor:
-                rep.stall(now, float(factor), self.config.stall_window)
-                self.injected_stalls += 1
+        n = self.config.num_shards
+        for i, group in enumerate(self.groups):
+            for m, rep in enumerate(group.members):
+                if rep.alive and _poke(
+                    "shard.crash", shard=i, extra=i + n * m
+                ):
+                    rep.crash()
+                    self.injected_crashes += 1
+        for i, group in enumerate(self.groups):
+            for m, rep in enumerate(group.members):
+                if not rep.alive or rep.recovering:
+                    continue
+                factor = _poke("shard.stall", shard=i, extra=i + n * m)
+                if factor:
+                    rep.stall(now, float(factor), self.config.stall_window)
+                    self.injected_stalls += 1
 
     # ---- submission (mirrors ServeRuntime.submit) ----------------------------------
 
@@ -319,11 +393,12 @@ class ServeCluster:
         self.clock.advance(decision.estimated_cost)
 
         self._partial_this_request = 0
+        valid = None
         if decision.level == "timeout":
             scores, status, detail = None, "timeout", RejectReason.DEADLINE
         else:
             try:
-                scores = self._score(req.batch, decision, req.rid)
+                scores, valid = self._score(req.batch, decision, req.rid)
                 status, detail = "ok", decision.reason
             except TransientKernelError as err:
                 self.ctx.record_kernel_fault(err.site)
@@ -331,7 +406,7 @@ class ServeCluster:
                     "memory", 0, decision.estimated_cost,
                     f"kernel fault at {err.site}",
                 )
-                scores = self._score(req.batch, decision, req.rid)
+                scores, valid = self._score(req.batch, decision, req.rid)
                 status, detail = "ok", decision.reason
             if decision.level != "full":
                 self.ctx.count(f"serve:degraded:{decision.level}", 1)
@@ -347,7 +422,8 @@ class ServeCluster:
         latency = self.clock.now() - req.arrival
         self.ctx.record_latency(latency)
         result = RequestResult(
-            req.rid, status, decision.level, scores, latency, detail
+            req.rid, status, decision.level, scores, latency, detail,
+            valid=valid if self.config.strict_partials else None,
         )
         self.results.append(result)
         return result
@@ -368,109 +444,178 @@ class ServeCluster:
         return self.results
 
     def _settle(self) -> None:
-        """Complete all outstanding failovers and drain pending queues."""
-        for i, rep in enumerate(self.replicas):
-            if not rep.alive and not rep.recovering:
-                # crashed but not yet declared by the detector
-                self.supervisor.force_failover(i)
+        """Complete all outstanding failovers and drain member queues."""
+        for i, group in enumerate(self.groups):
+            for m, rep in enumerate(group.members):
+                if not rep.alive and not rep.recovering:
+                    # crashed but not yet declared by the detector
+                    self.supervisor.force_failover(i, member=m)
+
+        def _recovering():
+            return [
+                rep for g in self.groups for rep in g.members if rep.recovering
+            ]
+
         guard = 0
-        while any(rep.recovering for rep in self.replicas):
-            ready = min(
-                rep.ready_at for rep in self.replicas if rep.recovering
-            )
+        members_total = sum(g.factor for g in self.groups)
+        while _recovering():
+            ready = min(rep.ready_at for rep in _recovering())
             self.clock.advance_to(ready)
             self.supervisor.tick()
             guard += 1
-            if guard > 4 * len(self.replicas) + 16:
+            if guard > 4 * members_total + 16:
                 raise RuntimeError("cluster failed to settle recoveries")
+        for i, group in enumerate(self.groups):
+            for m in range(group.factor):
+                group.drain_member(m)
+            if group.any_serving():
+                self.supervisor.ensure_primary(i)
 
     # ---- scatter-gather scoring ----------------------------------------------------
 
-    def _gather(self, nodes: np.ndarray, extra: int) -> np.ndarray:
-        """Memory rows for *nodes* from their owning shards.
+    def _gather(self, nodes: np.ndarray, extra: int):
+        """Memory rows for *nodes* from their owning groups.
 
-        One scatter-gather wave: every reachable owning shard is called
-        over the RPC channel; a shard that is down, recovering, or out of
-        retry budget contributes zeros (partial result, reduced fanout).
-        The wave's wall time is its *slowest* shard — calls overlap — and
-        only the excess beyond the nominal round trip already priced by
-        the cost model is charged to the clock.
+        Returns ``(rows, ok)`` — the gathered ``(n, dim)`` rows and a
+        boolean per-row validity mask.  One scatter-gather wave: each
+        touched shard is read from its preferred member
+        (primary, else the most-caught-up serving follower); a failed
+        attempt (timeout, crash mid-wave) fails over to the remaining
+        serving members of the group, so rows zero-fill **only** when a
+        whole group is down — and then their mask rows go False instead
+        of the zeros passing silently.  The wave's wall time is its
+        slowest shard — calls overlap — and only the excess beyond the
+        nominal round trip already priced by the cost model is charged
+        to the clock.
+
+        Under ``staleness_bound='strict'`` a gather about to read a
+        follower first forces promotion (read-your-commits); under
+        ``'bounded'`` the follower answers immediately, stale by at most
+        its parked queue.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
         rows = np.zeros((len(nodes), self.dim), dtype=np.float32)
+        ok = np.ones(len(nodes), dtype=bool)
         if not len(nodes):
-            return rows
+            return rows, ok
         shards = self.router.shard_of(nodes)
         now = self.clock.now()
+        strict = self.config.staleness_bound == "strict"
         slowest = 0.0
         for k, shard in enumerate(np.unique(shards)):
-            rep = self.replicas[shard]
-            if not rep.alive or rep.recovering:
-                self._partial_this_request += 1
-                continue
-            try:
-                elapsed = self.rpc.call(
-                    int(shard), alive=rep.alive,
-                    stall=rep.current_stall(now),
-                    extra=extra + 17 * int(shard) + k,
-                )
-            except RpcTimeout:
-                self._partial_this_request += 1
-                continue
+            group = self.groups[int(shard)]
+            ridx = group.read_member()
+            if strict and ridx is not None and ridx != group.primary_idx:
+                # Read-your-commits: no follower read while a promotion
+                # can still give this gather a real primary.
+                if self.supervisor.ensure_primary(int(shard)):
+                    self.strict_fallbacks += 1
+                ridx = group.read_member()
+            candidates = [] if ridx is None else [ridx] + [
+                i for i in range(group.factor)
+                if i != ridx and group.serving(i)
+            ]
             idx = shards == shard
-            rows[idx] = rep.gather(nodes[idx])
-            slowest = max(slowest, elapsed)
+            served = False
+            for ridx2 in candidates:
+                member = group.members[ridx2]
+                try:
+                    elapsed = self.rpc.call(
+                        int(shard), alive=member.alive,
+                        stall=member.current_stall(now),
+                        extra=extra + 17 * int(shard) + k + 7919 * ridx2,
+                    )
+                except RpcTimeout:
+                    continue  # fail over to the next serving member
+                rows[idx] = member.gather(nodes[idx])
+                slowest = max(slowest, elapsed)
+                if ridx2 != group.primary_idx:
+                    self.follower_reads += 1
+                    self.staleness_lag += max(
+                        0, group.committed_seq - member.last_seq
+                    )
+                served = True
+                break
+            if not served:
+                self._partial_this_request += 1
+                n_zero = int(idx.sum())
+                ok[idx] = False
+                self.zero_rows += n_zero
+                self.ctx.count("serve:zero_rows", n_zero)
         self.clock.advance(max(0.0, slowest - self.rpc.service))
-        return rows
+        return rows, ok
 
-    def _score(self, batch: EventBatch, decision, rid: int) -> np.ndarray:
-        """Link-prediction scores at the decided rung (junk-safe)."""
+    def _score(self, batch: EventBatch, decision, rid: int):
+        """Link-prediction scores at the decided rung (junk-safe).
+
+        Returns ``(scores, valid)``: junk events score NaN with
+        ``valid=False``; a well-formed event is valid iff *both* its
+        endpoint rows came from a live group member (a zero-filled
+        endpoint poisons the dot product, so its score is marked).
+        """
         if not len(batch):
-            return np.empty(0, dtype=np.float32)
+            empty = np.empty(0, dtype=np.float32)
+            return empty, np.ones(0, dtype=bool)
         ok, _ = validate_events(batch, self.graph.num_nodes)
         if not ok.all():
             scores = np.full(len(batch), np.nan, dtype=np.float32)
+            valid = np.zeros(len(batch), dtype=bool)
             if ok.any():
-                scores[ok] = self._score(batch.take(ok), decision, rid)
-            return scores
+                scores[ok], valid[ok] = self._score(
+                    batch.take(ok), decision, rid
+                )
+            return scores, valid
         nodes = np.concatenate([batch.src, batch.dst])
         times = np.concatenate([batch.ts, batch.ts])
         base = 104729 * (rid + 1)
         if decision.level in ("full", "reduced"):
-            emb = self._embed_sampled(nodes, times, decision.fanout, base)
+            emb, rows_ok = self._embed_sampled(
+                nodes, times, decision.fanout, base
+            )
         elif decision.level == "cache":
-            emb = self._embed_cached(nodes, times, base)
+            emb, rows_ok = self._embed_cached(nodes, times, base)
         else:  # 'memory'
-            emb = self._gather(nodes, base)
+            emb, rows_ok = self._gather(nodes, base)
         n = len(batch)
         logits = np.sum(emb[:n] * emb[n:], axis=1)
-        return (1.0 / (1.0 + np.exp(-logits))).astype(np.float32)
+        scores = (1.0 / (1.0 + np.exp(-logits))).astype(np.float32)
+        return scores, rows_ok[:n] & rows_ok[n:]
 
-    def _embed_sampled(self, nodes, times, fanout: int, extra: int) -> np.ndarray:
-        """Shard-gathered rows enriched with sampled temporal neighbors."""
+    def _embed_sampled(self, nodes, times, fanout: int, extra: int):
+        """Shard-gathered rows enriched with sampled temporal neighbors.
+
+        A failed *neighbor* gather only reduces the enrichment (that is
+        already the reduced-fanout contract), so the validity mask is the
+        endpoint rows' own — neighbor loss never invalidates a score.
+        """
         res = self.sampler.sample_arrays(
             self.graph.csr(), nodes, times, ctx=self.ctx, num_nbrs=fanout
         )
-        emb = self._gather(nodes, extra).copy()
+        rows, ok = self._gather(nodes, extra)
+        emb = rows.copy()
         if len(res.srcnodes):
             agg = np.zeros_like(emb)
             counts = np.zeros(len(nodes), dtype=np.float32)
-            np.add.at(agg, res.dstindex, self._gather(res.srcnodes, extra + 1))
+            nbr_rows, _ = self._gather(res.srcnodes, extra + 1)
+            np.add.at(agg, res.dstindex, nbr_rows)
             np.add.at(counts, res.dstindex, 1.0)
             hot = counts > 0
             emb[hot] = 0.5 * (emb[hot] + agg[hot] / counts[hot, None])
         cache = self.ctx.embed_cache(0)
         if cache.enabled:
             cache.store(nodes, times, emb)
-        return emb
+        return emb, ok
 
-    def _embed_cached(self, nodes, times, extra: int) -> np.ndarray:
+    def _embed_cached(self, nodes, times, extra: int):
         cache = self.ctx.embed_cache(0)
-        emb = self._gather(nodes, extra).copy()
+        rows, ok = self._gather(nodes, extra)
+        emb = rows.copy()
         hits, values = cache.lookup(nodes, times)
         if values is not None and hits.any():
             emb[hits] = values[hits]
-        return emb
+            # a cache hit replaces a zero-filled row with real state
+            ok = ok | hits
+        return emb, ok
 
     # ---- commit fan-out ------------------------------------------------------------
 
@@ -519,43 +664,24 @@ class ServeCluster:
         seq = self.seq
         now = self.clock.now()
         for shard, sub in sorted(self.router.split_batch(released).items()):
-            rep = self.replicas[shard]
+            group = self.groups[shard]
             ends = np.concatenate([sub.src, sub.dst])
             ends = ends[(ends >= 0) & (ends < self.graph.num_nodes)]
             owned_ends = ends[self.router.assign[ends] == shard]
             self.supervisor.note_load(shard, len(owned_ends), nodes=owned_ends)
-            if not rep.alive or rep.recovering:
-                self._pending[shard].append((seq, sub))
-                self.deferred_applies += 1
-                continue
-            try:
-                self.rpc.call(
-                    shard, alive=rep.alive, stall=rep.current_stall(now),
-                    extra=104729 * (rid + 1) + 31 * shard + 7,
-                    on_deliver=lambda rep=rep, sub=sub, s=seq: rep.apply(sub, s),
-                )
-            except (RpcTimeout, ReplicaDown):
-                # Maybe delivered (reply lost) — redelivery is idempotent
-                # by sequence number, so parking it is always safe.
-                self._pending[shard].append((seq, sub))
-                self.deferred_applies += 1
+            if group.serving_primary() is None and group.any_serving():
+                # A commit needs a leased primary to sequence under; a
+                # serving follower means promotion can happen right now
+                # instead of parking the record for the respawn.
+                self.supervisor.ensure_primary(shard)
+            group.ship(
+                sub, seq, self.rpc, now,
+                extra=104729 * (rid + 1) + 31 * shard + 7,
+            )
         self.commits += 1
         self.committed_watermark = max(
             self.committed_watermark, float(released.ts.max())
         )
-
-    def _drain_pending(self, shard: int) -> None:
-        """Redeliver parked sub-batches to a freshly rejoined shard.
-
-        Modeled as a reliable in-order redelivery channel (queues are
-        appended in sequence order); already-applied sequence numbers —
-        delivered-but-reply-lost attempts — are shard-side no-ops.
-        """
-        rep = self.replicas[shard]
-        queue, self._pending[shard] = self._pending[shard], []
-        for seq, sub in queue:
-            rep.apply(sub, seq)
-            self.redelivered += 1
 
     # ---- assembled state images ----------------------------------------------------
 
@@ -603,7 +729,7 @@ class ServeCluster:
     # ---- reporting / lifecycle -----------------------------------------------------
 
     def pending_applies(self) -> int:
-        return sum(len(q) for q in self._pending.values())
+        return sum(g.pending_applies() for g in self.groups)
 
     def stats(self) -> Dict[str, object]:
         """Flat dict: serving counters plus cluster/rpc/per-shard rows."""
@@ -617,6 +743,7 @@ class ServeCluster:
         out["watermark"] = self.ingest.watermark
         out["committed_watermark"] = self.committed_watermark
         out["cluster:shards"] = self.config.num_shards
+        out["cluster:replication_factor"] = self.config.replication_factor
         out["cluster:live_shards"] = self.live_shards()
         out["cluster:partition"] = self.router.policy
         out["cluster:assignment_version"] = self.router.version
@@ -629,20 +756,28 @@ class ServeCluster:
         out["cluster:pending_applies"] = self.pending_applies()
         out["cluster:injected_crashes"] = self.injected_crashes
         out["cluster:injected_stalls"] = self.injected_stalls
+        out["cluster:zero_rows"] = self.zero_rows
+        out["cluster:follower_reads"] = self.follower_reads
+        out["cluster:staleness_lag"] = self.staleness_lag
+        out["cluster:strict_fallbacks"] = self.strict_fallbacks
         out.update({f"cluster:{k}": v
                     for k, v in self.supervisor.stats.as_dict().items()})
         out.update({f"rpc:{k}": v for k, v in self.rpc.stats.as_dict().items()})
         for i, rep in enumerate(self.replicas):
             out.update({f"shard:{i}:{k}": v for k, v in rep.stats().items()})
+        for i, group in enumerate(self.groups):
+            out.update({f"group:{i}:{k}": v
+                        for k, v in group.stats().items()})
         return out
 
     def close(self) -> None:
-        """Idempotent teardown: every replica (dead ones included)."""
+        """Idempotent teardown: every group member (dead ones included)."""
         if self._closed:
             return
         self._closed = True
-        for rep in self.replicas:
-            rep.close()
+        for group in self.groups:
+            for rep in group.members:
+                rep.close()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None

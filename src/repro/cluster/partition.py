@@ -27,7 +27,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["hash_shard", "ShardRouter"]
+__all__ = ["hash_shard", "place_group_hosts", "ShardRouter"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -51,6 +51,46 @@ def hash_shard(nodes: np.ndarray, num_shards: int, seed: int = 0) -> np.ndarray:
     nodes = np.asarray(nodes, dtype=np.int64)
     h = _splitmix64_array(nodes.astype(np.uint64) ^ np.uint64(seed & _MASK64))
     return (h % np.uint64(num_shards)).astype(np.int64)
+
+
+def place_group_hosts(
+    num_shards: int,
+    replication_factor: int,
+    num_hosts: Optional[int] = None,
+) -> "list":
+    """Host placement for every shard's replica group.
+
+    Returns ``hosts[shard][member]`` — the simulated host each group
+    member lives on — under the anti-affinity constraint that no two
+    members of one group share a host (a single host loss must never
+    take out a whole group, or replication buys nothing).  Placement is
+    the deterministic diagonal ``(shard + member) % num_hosts``, which
+    also spreads each host's load across primary and follower roles.
+
+    ``num_hosts`` defaults to ``max(num_shards, replication_factor)``;
+    fewer hosts than the factor is rejected because anti-affinity is
+    then unsatisfiable.
+    """
+    num_shards = int(num_shards)
+    replication_factor = int(replication_factor)
+    if num_shards < 1 or replication_factor < 1:
+        raise ValueError("num_shards and replication_factor must be >= 1")
+    hosts = int(num_hosts) if num_hosts is not None else max(
+        num_shards, replication_factor
+    )
+    if hosts < replication_factor:
+        raise ValueError(
+            f"cannot place {replication_factor} replicas of one group on "
+            f"{hosts} hosts without two sharing a host"
+        )
+    placement = [
+        [(shard + member) % hosts for member in range(replication_factor)]
+        for shard in range(num_shards)
+    ]
+    for shard, group in enumerate(placement):
+        if len(set(group)) != len(group):  # pragma: no cover - guarded above
+            raise AssertionError(f"group {shard} placement collides: {group}")
+    return placement
 
 
 class ShardRouter:

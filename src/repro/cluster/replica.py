@@ -39,11 +39,22 @@ from ..durable.store import DurableStateStore
 from ..serve.commit import stage_updates
 from ..serve.events import EventBatch
 
-__all__ = ["ReplicaDown", "ShardReplica"]
+__all__ = ["ReplicaDown", "StaleLeaseError", "ShardReplica"]
 
 
 class ReplicaDown(RuntimeError):
     """The replica is crashed or still recovering; it serves nothing."""
+
+
+class StaleLeaseError(RuntimeError):
+    """A write arrived stamped with a fenced (superseded) lease epoch.
+
+    Raised by :meth:`ShardReplica.apply` when the carried epoch is older
+    than the replica's current lease epoch: the sender is a zombie
+    ex-primary that was deposed by a promotion it has not observed.  The
+    write is rejected *before* the WAL append, so a split-brain primary
+    can never make a follower diverge.
+    """
 
 
 class ShardReplica:
@@ -58,6 +69,10 @@ class ShardReplica:
         mailbox_slots: ring slots per node (0 disables the mailbox).
         fsync: WAL durability policy (``'always'``/``'batch'``/``'never'``).
         snapshot_every: applied batches between periodic snapshots.
+        member_id: position of this replica inside its replica group
+            (0 = initial primary; followers are 1..factor-1).
+        host: simulated host this member is placed on (placement asserts
+            no two members of one group share a host).
     """
 
     def __init__(
@@ -70,8 +85,12 @@ class ShardReplica:
         mailbox_slots: int = 1,
         fsync: str = "batch",
         snapshot_every: int = 64,
+        member_id: int = 0,
+        host: int = 0,
     ):
         self.shard_id = int(shard_id)
+        self.member_id = int(member_id)
+        self.host = int(host)
         self.num_nodes = int(num_nodes)
         self.dim = int(dim)
         self.mailbox_slots = int(mailbox_slots)
@@ -95,6 +114,9 @@ class ShardReplica:
 
         #: newest cluster commit sequence number durably applied.
         self.last_seq = -1
+        #: newest replica-group lease epoch this member has observed;
+        #: writes stamped with an older epoch are fenced (rejected).
+        self.lease_epoch = 0
         self.alive = True
         self.recovering = False
         self.ready_at = 0.0
@@ -105,6 +127,7 @@ class ShardReplica:
         self.applied_batches = 0
         self.applied_events = 0
         self.duplicate_batches = 0
+        self.stale_rejects = 0
         self.crashes = 0
         self.recoveries = 0
         self.stalls = 0
@@ -180,6 +203,7 @@ class ShardReplica:
             if self.mailbox._next_slot is not None:
                 self.mailbox._next_slot[...] = arrays["mailbox/cursor"]
         self.last_seq = int(state.snapshot_meta.get("seq", -1))
+        self.lease_epoch = int(state.snapshot_meta.get("epoch", 0))
         replayed = 0
         for record in state.records:
             if record.kind != KIND_BATCH:
@@ -188,6 +212,9 @@ class ShardReplica:
             if len(batch):
                 self._apply_rows(batch)
             self.last_seq = max(self.last_seq, int(record.meta.get("seq", -1)))
+            self.lease_epoch = max(
+                self.lease_epoch, int(record.meta.get("epoch", 0))
+            )
             replayed += 1
         self._since_snapshot = replayed
         self.alive = True
@@ -212,15 +239,31 @@ class ShardReplica:
             self.mailbox.store(local, values[own], times[own])
         return int(own.sum())
 
-    def apply(self, batch: EventBatch, seq: int) -> bool:
+    def apply(self, batch: EventBatch, seq: int, epoch: Optional[int] = None) -> bool:
         """Durably apply one cluster-committed sub-batch (idempotent).
 
         WAL-then-apply: the sub-batch is logged before any row changes,
         so an ack implies durability.  Returns False for a redelivered
         sequence number (already applied — nothing happens).
+
+        *epoch*, when given, is the sender's replica-group lease epoch:
+        a write fenced by a promotion this member has already observed
+        (``epoch < lease_epoch``) raises :class:`StaleLeaseError` before
+        touching the log; a newer epoch is adopted (lease renewal rides
+        on the ship).  ``None`` (single-replica legacy path) skips the
+        check.
         """
         if not self.alive or self.memory is None:
             raise ReplicaDown(f"shard {self.shard_id} is down")
+        if epoch is not None:
+            if epoch < self.lease_epoch:
+                self.stale_rejects += 1
+                raise StaleLeaseError(
+                    f"shard {self.shard_id} member {self.member_id}: write "
+                    f"stamped epoch {epoch} rejected (lease epoch is "
+                    f"{self.lease_epoch} — sender was fenced)"
+                )
+            self.lease_epoch = int(epoch)
         if seq <= self.last_seq:
             self.duplicate_batches += 1
             return False
@@ -229,7 +272,8 @@ class ShardReplica:
             return True
         self.store.log_batch(
             batch.to_arrays(),
-            {"seq": int(seq), "watermark": float(batch.ts.max())},
+            {"seq": int(seq), "watermark": float(batch.ts.max()),
+             "epoch": int(self.lease_epoch)},
         )
         applied = self._apply_rows(batch)
         self.last_seq = int(seq)
@@ -269,7 +313,10 @@ class ShardReplica:
 
     def write_snapshot(self) -> None:
         """Durably anchor state + ownership; compacts the log below it."""
-        self.store.snapshot(self.state_arrays(), {"seq": int(self.last_seq)})
+        self.store.snapshot(
+            self.state_arrays(),
+            {"seq": int(self.last_seq), "epoch": int(self.lease_epoch)},
+        )
         self._since_snapshot = 0
 
     def _rebuild(self, new_owned: np.ndarray, keep_from=None) -> "tuple":
@@ -354,10 +401,14 @@ class ShardReplica:
             "applied_batches": self.applied_batches,
             "applied_events": self.applied_events,
             "duplicate_batches": self.duplicate_batches,
+            "stale_rejects": self.stale_rejects,
             "crashes": self.crashes,
             "recoveries": self.recoveries,
             "stalls": self.stalls,
             "last_seq": self.last_seq,
+            "lease_epoch": self.lease_epoch,
+            "member_id": self.member_id,
+            "host": self.host,
         }
         if self.store is not None:
             out["wal_last_lsn"] = self.store.wal.last_lsn

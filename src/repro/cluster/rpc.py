@@ -61,6 +61,9 @@ class RpcStats:
     dropped_replies: int = 0
     hedges: int = 0
     hedge_wins: int = 0
+    ships: int = 0
+    dropped_ships: int = 0
+    dropped_acks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -73,6 +76,9 @@ class RpcStats:
             "dropped_replies": self.dropped_replies,
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
+            "ships": self.ships,
+            "dropped_ships": self.dropped_ships,
+            "dropped_acks": self.dropped_acks,
         }
 
 
@@ -181,6 +187,38 @@ class SimRpc:
                 self.stats.retries += 1
         self.stats.failures += 1
         raise RpcTimeout(shard, elapsed)
+
+    # ---- log shipping --------------------------------------------------------------
+
+    def ship(self, shard: int, member: int, alive: bool = True, extra: int = 0,
+             on_deliver: Optional[Callable[[], None]] = None) -> "tuple[bool, bool]":
+        """One synchronous log-shipping leg to a replica-group follower.
+
+        Returns ``(delivered, acked)``.  The request leg consults the
+        ``repl.ship`` site (a drop means the record never reached the
+        follower — the group parks it for in-order redelivery) and the
+        acknowledgement leg consults ``repl.ack`` (a drop means the
+        follower *did* append durably but the primary never learned —
+        the commit may fall under quorum without any divergence, and the
+        eventual redelivery is absorbed by sequence idempotence).  No
+        retry state machine here: ordering across a member's ships is
+        owned by the group's per-member queue, which a blind rpc-level
+        retry would violate.  Shipping rides the commit fan-out, which
+        charges no request latency (mirroring :meth:`call`'s use there),
+        so no elapsed time is returned.
+        """
+        self.stats.ships += 1
+        if _poke("repl.ship", shard=shard, member=member, extra=extra) == ("drop",):
+            self.stats.dropped_ships += 1
+            return False, False
+        if not alive:
+            return False, False  # host down: the shipment vanishes
+        if on_deliver is not None:
+            on_deliver()
+        if _poke("repl.ack", shard=shard, member=member, extra=extra + 1) == ("drop",):
+            self.stats.dropped_acks += 1
+            return True, False
+        return True, True
 
     def __repr__(self) -> str:
         return (

@@ -39,8 +39,14 @@ from .codec import (
 )
 from .snapshot import list_snapshots, load_latest, prune_snapshots, write_snapshot
 from .store import DurableRecord, DurableStateStore, RecoveredState
-from .tail import CursorInvalidated, WALCursor
-from .wal import WALStats, WriteAheadLog, fsync_dir
+from .tail import CursorInvalidated, WALCursor, read_batch_suffix
+from .wal import (
+    WALStats,
+    WriteAheadLog,
+    decode_shipped_record,
+    encode_shipped_record,
+    fsync_dir,
+)
 
 __all__ = [
     "CodecError",
@@ -63,4 +69,7 @@ __all__ = [
     "RecoveredState",
     "CursorInvalidated",
     "WALCursor",
+    "read_batch_suffix",
+    "encode_shipped_record",
+    "decode_shipped_record",
 ]

@@ -44,11 +44,60 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
-from .codec import KIND_ABORT, CodecError, decode_payload
+from .codec import KIND_ABORT, KIND_BATCH, CodecError, decode_payload
 from .store import DurableRecord
 from .wal import fsync_dir, list_segment_files, parse_segment, read_segment_bytes
 
-__all__ = ["CursorInvalidated", "WALCursor"]
+__all__ = ["CursorInvalidated", "WALCursor", "read_batch_suffix"]
+
+
+def read_batch_suffix(
+    directory: str, after_seq: int, inject: bool = False
+) -> List[DurableRecord]:
+    """One-shot catch-up read: committed batch records past *after_seq*.
+
+    Used by replica-group promotion as the WAL-backstop for follower
+    catch-up — a newly promoted primary reads the fenced ex-primary's log
+    directory and replays any ``KIND_BATCH`` record whose commit sequence
+    (``meta['seq']``) it has not yet applied.  Pure read over the
+    committed prefix (same :func:`parse_segment` definition the owner
+    uses); aborted records are filtered, delivery is in seq order, and
+    records without a seq are skipped.  Unlike :class:`WALCursor` this
+    keeps no persistent position — the caller's own ``last_seq`` is the
+    cursor.
+    """
+    records: List[Tuple[int, bytes, int]] = []
+    prev: Optional[int] = None
+    for _, path in list_segment_files(directory):
+        try:
+            buf = read_segment_bytes(path, inject)
+        except OSError:
+            break
+        segment_records, _, intact, last = parse_segment(buf, prev)
+        records.extend(segment_records)
+        if not intact:
+            break
+        prev = last if last is not None else prev
+    aborted = set()
+    decoded: List[DurableRecord] = []
+    for lsn, payload, _ in records:
+        try:
+            kind, meta, arrays = decode_payload(payload)
+        except CodecError:
+            break  # committed prefix ends just before the damage
+        if kind == KIND_ABORT:
+            aborted.add(int(meta.get("target", -1)))
+            continue
+        decoded.append(DurableRecord(lsn=lsn, kind=kind, meta=meta, arrays=arrays))
+    out = [
+        r
+        for r in decoded
+        if r.lsn not in aborted
+        and r.kind == KIND_BATCH
+        and int(r.meta.get("seq", -1)) > int(after_seq)
+    ]
+    out.sort(key=lambda r: int(r.meta["seq"]))
+    return out
 
 
 class CursorInvalidated(RuntimeError):

@@ -57,6 +57,8 @@ __all__ = [
     "list_segment_files",
     "read_segment_bytes",
     "parse_segment",
+    "encode_shipped_record",
+    "decode_shipped_record",
 ]
 
 MAGIC = b"TGLITEWAL001"
@@ -150,6 +152,43 @@ def parse_segment(
         last = lsn
         valid_end = pos
     return records, valid_end, pos >= len(buf), last
+
+
+def encode_shipped_record(lsn: int, payload: bytes) -> bytes:
+    """Frame one WAL record for log-shipping over a (simulated) wire.
+
+    The wire format is byte-identical to the on-disk record frame
+    (``u32 length | u32 crc32(body) | u64 lsn | payload``), so a follower
+    that appends the decoded payload to its own log reproduces the
+    primary's record exactly and :func:`parse_segment` applies unchanged
+    on both sides of the ship.
+    """
+    body = _LSN.pack(int(lsn)) + bytes(payload)
+    return _FRAME.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def decode_shipped_record(buf: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_shipped_record`; returns ``(lsn, payload)``.
+
+    Raises ``ValueError`` on a torn frame, nonsense length, trailing
+    garbage, or CRC mismatch — a follower must reject (and re-request) a
+    damaged shipment rather than append corruption to its log.
+    """
+    if len(buf) < _FRAME.size:
+        raise ValueError("shipped record torn: frame header incomplete")
+    length, crc = _FRAME.unpack_from(buf, 0)
+    if length < _LSN.size or length > MAX_RECORD_BYTES:
+        raise ValueError(f"shipped record has nonsense length {length}")
+    if len(buf) != _FRAME.size + length:
+        raise ValueError(
+            f"shipped record size mismatch: frame claims {length} body "
+            f"bytes, buffer carries {len(buf) - _FRAME.size}"
+        )
+    body = buf[_FRAME.size :]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise ValueError("shipped record failed CRC (corrupted in flight)")
+    (lsn,) = _LSN.unpack_from(body)
+    return lsn, body[_LSN.size :]
 
 
 def fsync_dir(path: str) -> bool:

@@ -70,6 +70,9 @@ DECISIONS: Dict[str, str] = {
     "shard.crash": "shard.crash",
     "shard.stall": "shard.stall",
     "heartbeat.drop": "heartbeat.drop",
+    "repl.ship.drop": "repl.ship",
+    "repl.ack.drop": "repl.ack",
+    "repl.promote.delay": "repl.promote",
 }
 
 _MASK64 = (1 << 64) - 1
@@ -182,6 +185,18 @@ class FaultInjector:
             at which one shard heartbeat is lost (site ``heartbeat.drop``;
             enough accumulated losses make the detector declare a live
             shard dead — a spurious failover the cluster must absorb).
+        repl_ship_drop_rate / repl_ship_drops: probability (or positions)
+            at which the log-shipping leg from a replica-group primary to
+            one follower is dropped (site ``repl.ship``; the record parks
+            in that follower's in-order queue and is redelivered).
+        repl_ack_drop_rate / repl_ack_drops: probability (or positions)
+            at which a follower's append acknowledgement is lost on the
+            way back (site ``repl.ack``; the follower *did* append — the
+            commit may fall under quorum without ever diverging).
+        repl_promote_delay_rate / repl_promote_delays: probability (or
+            positions) at which one promotion attempt is delayed by a
+            tick (site ``repl.promote``; the supervisor retries, bounding
+            the window in which reads fail over to followers).
         rates: extra ``{decision name: probability}`` entries (see
             :data:`DECISIONS`); unknown names raise ``ValueError``.
         schedules: extra ``{decision name: positions}`` entries; unknown
@@ -228,6 +243,12 @@ class FaultInjector:
         shard_stall_factor: float = 8.0,
         heartbeat_drop_rate: float = 0.0,
         heartbeat_drops: Iterable[Tuple[int, ...]] = (),
+        repl_ship_drop_rate: float = 0.0,
+        repl_ship_drops: Iterable[Tuple[int, ...]] = (),
+        repl_ack_drop_rate: float = 0.0,
+        repl_ack_drops: Iterable[Tuple[int, ...]] = (),
+        repl_promote_delay_rate: float = 0.0,
+        repl_promote_delays: Iterable[Tuple[int, ...]] = (),
         rates: Optional[Dict[str, float]] = None,
         schedules: Optional[Dict[str, Iterable[Tuple[int, ...]]]] = None,
         transient: bool = True,
@@ -248,6 +269,9 @@ class FaultInjector:
             "shard.crash": float(shard_crash_rate),
             "shard.stall": float(shard_stall_rate),
             "heartbeat.drop": float(heartbeat_drop_rate),
+            "repl.ship.drop": float(repl_ship_drop_rate),
+            "repl.ack.drop": float(repl_ack_drop_rate),
+            "repl.promote.delay": float(repl_promote_delay_rate),
         }
         self.schedules: Dict[str, Set[Tuple[int, ...]]] = {
             "kernel.sample": {tuple(p) for p in kernel_fault_batches},
@@ -267,6 +291,9 @@ class FaultInjector:
             "shard.crash": {tuple(p) for p in shard_crashes},
             "shard.stall": {tuple(p) for p in shard_stalls},
             "heartbeat.drop": {tuple(p) for p in heartbeat_drops},
+            "repl.ship.drop": {tuple(p) for p in repl_ship_drops},
+            "repl.ack.drop": {tuple(p) for p in repl_ack_drops},
+            "repl.promote.delay": {tuple(p) for p in repl_promote_delays},
         }
         for name, rate in (rates or {}).items():
             self._check_decision(name)
@@ -412,12 +439,35 @@ class FaultInjector:
                 return ("drop",)
         elif site == "shard.crash":
             shard = int(info.get("shard", 0))
-            if self._fires("shard.crash", extra=shard, detail=f"shard {shard}"):
+            # The decision key is the caller's `extra` (shard + num_shards
+            # * member under replication) so a scheduled kill can target
+            # one specific group member; factor-1 callers pass extra=shard.
+            extra = int(info.get("extra", shard))
+            if self._fires("shard.crash", extra=extra, detail=f"shard {shard}"):
                 return True
         elif site == "shard.stall":
             shard = int(info.get("shard", 0))
-            if self._fires("shard.stall", extra=shard, detail=f"shard {shard}"):
+            extra = int(info.get("extra", shard))
+            if self._fires("shard.stall", extra=extra, detail=f"shard {shard}"):
                 return self.shard_stall_factor
+        elif site == "repl.ship":
+            if self._fires(
+                "repl.ship.drop", extra=int(info.get("extra", 0)),
+                detail=f"shard {info.get('shard')} member {info.get('member')}",
+            ):
+                return ("drop",)
+        elif site == "repl.ack":
+            if self._fires(
+                "repl.ack.drop", extra=int(info.get("extra", 0)),
+                detail=f"shard {info.get('shard')} member {info.get('member')}",
+            ):
+                return ("drop",)
+        elif site == "repl.promote":
+            if self._fires(
+                "repl.promote.delay", extra=int(info.get("extra", 0)),
+                detail=f"shard {info.get('shard')}",
+            ):
+                return True
         elif site == "heartbeat.drop":
             if self._fires(
                 "heartbeat.drop", extra=int(info.get("extra", 0)),

@@ -33,6 +33,9 @@ site                 where                                       returns
 ``shard.crash``      ``cluster.coordinator.ServeCluster.step``   bool
 ``shard.stall``      ``cluster.coordinator.ServeCluster.step``   factor
 ``heartbeat.drop``   ``cluster.supervisor.Supervisor.tick``      bool
+``repl.ship``        ``cluster.replication.ReplicaGroup.ship``   directive
+``repl.ack``         ``cluster.replication.ReplicaGroup.ship``   directive
+``repl.promote``     ``cluster.supervisor`` promotion attempt    bool
 ===================  ==========================================  =========
 
 A site either returns a value (crash/straggler queries, disk-corruption
@@ -70,6 +73,9 @@ SITES: Dict[str, str] = {
     "shard.crash": "cluster.coordinator.ServeCluster.step",
     "shard.stall": "cluster.coordinator.ServeCluster.step",
     "heartbeat.drop": "cluster.supervisor.Supervisor.tick",
+    "repl.ship": "cluster.replication.ReplicaGroup.ship (follower leg)",
+    "repl.ack": "cluster.replication.ReplicaGroup.ship (follower ack leg)",
+    "repl.promote": "cluster.supervisor.Supervisor promotion attempt",
 }
 
 _ACTIVE: Optional[Any] = None

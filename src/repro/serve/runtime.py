@@ -63,6 +63,11 @@ class RequestResult:
     scores: Optional[np.ndarray]
     latency: float
     detail: str = ""
+    #: per-row validity mask (cluster serving): False marks scores whose
+    #: endpoint state was unavailable (zero-filled) when computed.  None
+    #: means every row is authoritative (single runtime, shed/timeout,
+    #: or ``strict_partials=False``).
+    valid: Optional[np.ndarray] = None
 
 
 class ServeRuntime:

@@ -396,3 +396,370 @@ def test_cluster_close_is_idempotent():
     cluster.close()
     cluster.close()  # second close must be a no-op
     assert all(rep.store is None for rep in cluster.replicas)
+
+
+# ---------------------------------------------------------------------------
+# replication: lease-fenced primary/follower groups
+# ---------------------------------------------------------------------------
+
+from repro.cluster import ReplicaGroup, StaleLeaseError, place_group_hosts
+from repro.durable import read_batch_suffix
+
+
+def _replicated(stream, factor, num_shards=4, injector=None, **cfg_kw):
+    config = ClusterConfig(
+        num_shards=num_shards, replication_factor=factor, **cfg_kw
+    )
+    return _cluster(stream, config=config, injector=injector)
+
+
+def _assert_members_identical(cluster):
+    """Every group member holds the same committed state, bit for bit."""
+    for group in cluster.groups:
+        first = group.members[0]
+        for member in group.members[1:]:
+            assert np.array_equal(
+                first.memory.data.data, member.memory.data.data
+            ), f"group {group.shard_id}: member {member.member_id} diverged"
+            assert np.array_equal(first.memory.time, member.memory.time)
+            if first.mailbox is not None:
+                assert np.array_equal(
+                    first.mailbox.mail.data, member.mailbox.mail.data
+                )
+            assert first.last_seq == member.last_seq
+
+
+def test_place_group_hosts_anti_affinity():
+    placement = place_group_hosts(4, 3)
+    assert len(placement) == 4
+    for group in placement:
+        assert len(set(group)) == 3  # no two members share a host
+    # member 0 of shard i stays on host i (legacy single-replica layout)
+    assert [g[0] for g in placement] == [0, 1, 2, 3]
+    with pytest.raises(ValueError):
+        place_group_hosts(4, 3, num_hosts=2)
+
+
+def test_read_batch_suffix_orders_and_filters(tmp_path):
+    rep = _replica(tmp_path, np.arange(N))
+    for s in range(5):
+        rep.apply(_payload_batch([s], [s], [s + 1], [float(s + 1)]), s)
+    records = read_batch_suffix(rep.durable_dir, after_seq=2)
+    assert [int(r.meta["seq"]) for r in records] == [3, 4]
+    batch = EventBatch.from_arrays(records[0].arrays)
+    assert batch.src[0] == 3 and batch.dst[0] == 4
+    rep.close()
+
+
+def test_stale_epoch_write_rejected_before_wal_append(tmp_path):
+    """A zombie ex-primary writing under a fenced lease is rejected at
+    the replica, before its WAL append — split-brain cannot diverge."""
+    rep = _replica(tmp_path, np.arange(N))
+    rep.apply(_payload_batch([0], [1], [2], [1.0]), 0, epoch=0)
+    appends_before = rep.stats()["wal_last_lsn"]
+    rep.lease_epoch = 2  # fenced by a promotion elsewhere
+    with pytest.raises(StaleLeaseError):
+        rep.apply(_payload_batch([1], [3], [4], [2.0]), 1, epoch=1)
+    assert rep.stale_rejects == 1
+    assert rep.last_seq == 0  # neither applied ...
+    assert rep.stats()["wal_last_lsn"] == appends_before  # ... nor logged
+    rep.close()
+
+
+@pytest.mark.parametrize("factor", [2, 3])
+def test_replicated_clean_replay_members_bit_identical(factor):
+    stream = _stream(400)
+    batches = split_batches(stream, 40)
+    ctx, cluster = _replicated(stream, factor)
+    with cluster:
+        results = replay(cluster, batches, load=16.0)
+        assert all(r.status == "ok" for r in results)
+        _assert_members_identical(cluster)
+        data, times = cluster.memory_image()
+        stats = cluster.stats()
+    # every commit reached quorum on a clean network
+    for i in range(4):
+        assert stats[f"group:{i}:quorum_commits"] == stats[f"group:{i}:ships"]
+        assert stats[f"group:{i}:under_quorum"] == 0
+    assert stats["cluster:zero_rows"] == 0
+    mem, _ = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
+
+
+def test_primary_kill_promotes_follower_and_never_zero_fills():
+    """The tentpole guarantee: killing a primary at factor 2 promotes the
+    follower, reads fail over immediately (no zero-filled rows anywhere),
+    and the final state is bit-identical to a clean single replay."""
+    stream = _stream(600)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(
+        seed=7,
+        shard_crashes={(0, 5, 1)},  # shard 1's primary (member 0)
+        heartbeat_drop_rate=0.02,
+    )
+    ctx, cluster = _replicated(stream, 2, injector=injector)
+    with cluster, injector:
+        results = replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        _assert_members_identical(cluster)
+        data, times = cluster.memory_image()
+        mail, mtime, _ = cluster.mailbox_image()
+    assert stats["cluster:injected_crashes"] >= 1
+    assert stats["cluster:promotions"] >= 1
+    assert stats["group:1:epoch"] >= 1
+    assert all(r.status == "ok" for r in results)
+    # no request ever saw a zero-filled row: reads failed over
+    assert stats["cluster:zero_rows"] == 0
+    assert ctx.counters.get("serve:zero_rows", 0) == 0
+    assert all(r.valid is None or bool(r.valid.all()) for r in results)
+    assert stats["cluster:follower_reads"] >= 1
+    mem, mailbox = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
+    assert np.array_equal(mailbox.mail.data, mail)
+    assert np.array_equal(mailbox.time, mtime)
+
+
+def test_cascading_failover_promoted_primary_killed():
+    """Kill the primary, then kill the freshly promoted member while the
+    first is still respawning — a second promotion must carry on from
+    the highest acked LSN with no lost or zero-filled reads."""
+    stream = _stream(600)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(
+        seed=7,
+        shard_crashes={
+            (0, 5, 1),       # shard 1 member 0 (the primary)
+            (0, 8, 1 + 4),   # shard 1 member 1 (promoted meanwhile)
+        },
+    )
+    ctx, cluster = _replicated(stream, 3, injector=injector)
+    with cluster, injector:
+        results = replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        _assert_members_identical(cluster)
+        data, times = cluster.memory_image()
+    assert stats["cluster:injected_crashes"] >= 2
+    assert stats["group:1:promotions"] >= 2
+    assert stats["group:1:epoch"] >= 2
+    assert all(r.status == "ok" for r in results)
+    assert stats["cluster:zero_rows"] == 0
+    assert stats["cluster:pending_applies"] == 0
+    mem, _ = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
+
+
+def test_ack_drop_below_quorum_is_counted_not_aborted():
+    """Dropping every ack of one request's ships pushes those commits
+    under quorum; the commit is never aborted (the cluster sequenced
+    it), members converge with no sequence gaps."""
+    stream = _stream(400)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(seed=7, repl_ack_drops={(0, 3)})
+    ctx, cluster = _replicated(stream, 3, injector=injector)
+    with cluster, injector:
+        replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        _assert_members_identical(cluster)
+        data, times = cluster.memory_image()
+        # no LSN gaps: every member applied the full committed sequence
+        for group in cluster.groups:
+            for member in group.members:
+                assert member.last_seq == group.committed_seq
+    under = sum(stats[f"group:{i}:under_quorum"] for i in range(4))
+    acks_lost = sum(stats[f"group:{i}:acks_lost"] for i in range(4))
+    assert under >= 1        # factor 3 needs 2 acks; only the primary's
+    assert acks_lost >= 2    # both follower acks of that request died
+    for i in range(4):
+        assert (stats[f"group:{i}:quorum_commits"]
+                + stats[f"group:{i}:under_quorum"]) == stats[f"group:{i}:ships"]
+    mem, _ = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+
+
+def test_ack_drop_at_quorum_still_commits():
+    """factor 2 with ack_quorum=1: losing the follower ack leaves the
+    primary's own append at quorum — the commit counts as quorum-acked."""
+    stream = _stream(200)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(seed=7, repl_ack_drops={(0, 2)})
+    ctx, cluster = _replicated(stream, 2, injector=injector, ack_quorum=1)
+    with cluster, injector:
+        replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        _assert_members_identical(cluster)
+    assert sum(stats[f"group:{i}:acks_lost"] for i in range(4)) >= 1
+    for i in range(4):
+        assert stats[f"group:{i}:under_quorum"] == 0
+        assert stats[f"group:{i}:quorum_commits"] == stats[f"group:{i}:ships"]
+
+
+def test_ship_drop_parks_in_order_and_redelivers():
+    stream = _stream(400)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(seed=7, repl_ship_drops={(0, 4)})
+    ctx, cluster = _replicated(stream, 2, injector=injector)
+    with cluster, injector:
+        replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        _assert_members_identical(cluster)
+        data, times = cluster.memory_image()
+    dropped = stats["rpc:dropped_ships"]
+    assert dropped >= 1
+    assert stats["cluster:deferred_applies"] >= dropped
+    assert stats["cluster:redelivered"] >= dropped
+    assert stats["cluster:pending_applies"] == 0
+    mem, _ = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
+
+
+def test_strict_staleness_promotes_before_reading():
+    stream = _stream(300)
+    batches = split_batches(stream, 30)
+    ctx, cluster = _replicated(stream, 2, staleness_bound="strict")
+    with cluster:
+        cluster.groups[1].members[0].crash()  # primary down, out-of-band
+        cluster.submit(batches[0])
+        result = cluster.step()
+        assert result is not None and result.status == "ok"
+        # the gather refused the follower read and forced the promotion
+        assert cluster.strict_fallbacks >= 1
+        assert cluster.groups[1].epoch >= 1
+        assert cluster.groups[1].primary_idx == 1
+        assert cluster.zero_rows == 0
+        replay(cluster, batches[1:], load=16.0)
+        _assert_members_identical(cluster)
+
+
+def test_bounded_staleness_serves_follower_without_promotion():
+    stream = _stream(300)
+    batches = split_batches(stream, 30)
+    ctx, cluster = _replicated(stream, 2, staleness_bound="bounded")
+    with cluster:
+        cluster.groups[1].members[0].crash()
+        cluster.submit(batches[0])
+        result = cluster.step()
+        assert result is not None and result.status == "ok"
+        assert cluster.zero_rows == 0
+        # the follower answered directly; promotion happened only for the
+        # *commit* path (a write still needs a leased primary)
+        assert cluster.follower_reads >= 1
+        replay(cluster, batches[1:], load=16.0)
+        _assert_members_identical(cluster)
+
+
+def test_whole_group_down_marks_valid_mask():
+    """Only when every member of a group is gone do rows zero-fill —
+    and then the result carries a per-row validity mask."""
+    stream = _stream(300)
+    batches = split_batches(stream, 30)
+    ctx, cluster = _cluster(stream)  # factor 1: one member per group
+    with cluster:
+        cluster.replicas[2].crash()
+        cluster.submit(batches[0])
+        result = cluster.step()
+        assert result is not None and result.status == "ok"
+        assert result.valid is not None
+        assert not result.valid.all()  # dead-shard rows are marked
+        assert result.valid.any()      # live-shard rows still authoritative
+        assert ctx.counters.get("serve:zero_rows", 0) > 0
+        assert cluster.zero_rows > 0
+
+
+def test_legacy_partials_disable_valid_mask():
+    stream = _stream(300)
+    batches = split_batches(stream, 30)
+    config = ClusterConfig(num_shards=4, strict_partials=False)
+    ctx, cluster = _cluster(stream, config=config)
+    with cluster:
+        cluster.replicas[2].crash()
+        cluster.submit(batches[0])
+        result = cluster.step()
+        assert result is not None and result.status == "ok"
+        assert result.valid is None  # legacy unmarked zero-fill
+        assert cluster.zero_rows > 0  # ... but the counter still records it
+
+
+def test_quiesced_member_accrues_no_phi():
+    """Satellite regression: a member quiesced for a planned hand-off
+    must never be declared dead for beats it was told not to send."""
+    stream = _stream(100)
+    ctx, cluster = _replicated(stream, 2)
+    with cluster:
+        sup = cluster.supervisor
+        sup.quiesce(0, 0)
+        # way past dead_phi * heartbeat_interval with no beats from (0,0)
+        for _ in range(10):
+            cluster.clock.advance(5e-3)
+            sup.tick()
+        assert sup.stats.failovers == 0
+        assert cluster.groups[0].members[0].alive
+        sup.resume(0, 0)
+        for _ in range(3):
+            cluster.clock.advance(5e-3)
+            sup.tick()
+        # the quiesce window did not read as missed intervals after resume
+        assert sup.stats.failovers == 0
+        assert sup.member_states()[0][0] == "ok"
+
+
+def test_rebalance_with_replication_moves_all_members():
+    stream = _stream(200)
+    config = ClusterConfig(
+        num_shards=4,
+        replication_factor=2,
+        rebalance_window=1e-3,
+        rebalance_patience=1,
+        rebalance_factor=1.5,
+        rebalance_handoff_seconds=0.1,  # >> dead_phi * heartbeat_interval
+    )
+    ctx, cluster = _cluster(stream, config=config)
+    with cluster:
+        hot = int(np.argmax(cluster.router.counts()))
+        hot_nodes = cluster.router.owned_nodes(hot)
+        batch = _payload_batch([0, 1], hot_nodes[:2], hot_nodes[2:4], [1.0, 2.0])
+        cluster.groups[hot].ship(batch, 0, cluster.rpc, 0.0, extra=0)
+        rows_before = cluster.replicas[hot].gather(hot_nodes[:2]).copy()
+        for _ in range(4):
+            cluster.supervisor.note_load(hot, 1000, nodes=hot_nodes[:8])
+            cluster.clock.advance(2e-3)
+            cluster.supervisor.tick()
+        stats = cluster.supervisor.stats
+        assert stats.rebalances >= 1
+        # the long quiesced hand-off window triggered no spurious failover
+        assert stats.failovers == 0
+        # moved rows are served identically by *both* members of the new
+        # owner group
+        for i, node in enumerate(hot_nodes[:2]):
+            owner = int(cluster.router.shard_of(np.array([node]))[0])
+            for member in cluster.groups[owner].members:
+                row = member.gather(np.array([node]))[0]
+                assert np.array_equal(row, rows_before[i])
+
+
+def test_promote_delay_is_bounded_and_retried():
+    """A repl.promote delay stalls the hand-off one tick; reads keep
+    failing over to the follower meanwhile and the promotion lands."""
+    stream = _stream(600)
+    batches = split_batches(stream, 40)
+    injector = FaultInjector(
+        seed=7,
+        shard_crashes={(0, 5, 1)},
+        repl_promote_delay_rate=1.0,  # every attempt delayed (capped)
+    )
+    ctx, cluster = _replicated(stream, 2, injector=injector)
+    with cluster, injector:
+        results = replay(cluster, batches, load=16.0)
+        stats = cluster.stats()
+        _assert_members_identical(cluster)
+        data, times = cluster.memory_image()
+    assert stats["cluster:promote_delays"] >= 1
+    assert stats["cluster:promotions"] >= 1  # the cap forced it through
+    assert all(r.status == "ok" for r in results)
+    assert stats["cluster:zero_rows"] == 0
+    mem, _ = _single_images(stream, batches)
+    assert np.array_equal(mem.data.data, data)
+    assert np.array_equal(mem.time, times)
