@@ -9,6 +9,13 @@ log-shipping legs, and heartbeats mid-stream), and prints per-shard plus
 cluster-level statistics: failovers, promotions, quorum commits, retries,
 hedge wins, rebalance events, read availability, and p50/p99 latency.
 
+``--scrub-interval`` tunes the anti-entropy scrubber's period on the
+simulated clock and ``--inject-bitflip TIER[:SHARD[:MEMBER]]`` flips one
+state bit out-of-band after the replay (tier ``memory``, ``mailbox``,
+``wal``, or ``cold``), then requires the scrubber to detect and repair
+it; scrub statistics (cycles, chunks, divergences, rows repaired, wall
+seconds and their share of serve time) print with the summary.
+
 ``--check-equivalence`` additionally replays the same stream through a
 clean single :class:`~repro.serve.runtime.ServeRuntime` and requires the
 cluster's assembled final ``Memory``/``Mailbox`` state to be
@@ -82,6 +89,16 @@ def build_serve_cluster_parser() -> argparse.ArgumentParser:
     parser.add_argument("--heartbeat-interval", type=float, default=5e-3)
     parser.add_argument("--hedge-delay", type=float, default=6e-4,
                         help="hedged-send delay in seconds (<0 disables)")
+    parser.add_argument("--scrub-interval", type=float, default=0.25,
+                        help="anti-entropy scrub period in simulated "
+                             "seconds (<= 0 disables periodic scrubbing; "
+                             "the terminal drain pass always runs)")
+    parser.add_argument("--inject-bitflip", default=None,
+                        metavar="TIER[:SHARD[:MEMBER]]",
+                        help="flip one state bit after the replay, bypassing "
+                             "the write path, then let the scrubber detect "
+                             "and repair it; TIER is memory|mailbox|wal|cold "
+                             "(default shard 1, last group member)")
     parser.add_argument("--chaos", action="store_true",
                         help="arm the shard fault sites: shard kills + "
                              "stalls, RPC drops, heartbeat loss")
@@ -104,10 +121,13 @@ def build_serve_cluster_parser() -> argparse.ArgumentParser:
 
 
 def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
+    import time
+
     import numpy as np
 
     from ..cluster import ClusterConfig, ServeCluster
     from ..core import Mailbox, Memory, TContext, TGraph, TSampler
+    from ..integrity import array_digest
     from ..resilience import FaultInjector
     from ..serve import ServeRuntime, build_stream, replay, split_batches
     from ..serve.events import EventBatch
@@ -139,7 +159,26 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
         durable_root=args.durable_root,
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
+        scrub_interval=args.scrub_interval,
     )
+
+    flip_target = None
+    if args.inject_bitflip is not None:
+        parts = args.inject_bitflip.split(":")
+        tier = parts[0]
+        if tier not in ("memory", "mailbox", "wal", "cold"):
+            print(f"--inject-bitflip: unknown tier {tier!r} "
+                  "(memory|mailbox|wal|cold)", file=sys.stderr)
+            return 2
+        shard = int(parts[1]) if len(parts) > 1 else min(1, args.shards - 1)
+        member = (int(parts[2]) if len(parts) > 2
+                  else args.replication_factor - 1)
+        if not (0 <= shard < args.shards
+                and 0 <= member < args.replication_factor):
+            print("--inject-bitflip: shard/member out of range",
+                  file=sys.stderr)
+            return 2
+        flip_target = (tier, shard, member)
 
     injector = None
     schedules = {}
@@ -192,11 +231,36 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
     print(f"replaying {len(stream)} events in {len(batches)} requests "
           f"over {args.shards} shards x {args.replication_factor} replicas "
           f"({args.partition}) at {args.load:g}x load")
+    t0 = time.perf_counter()
     if injector is not None:
         with injector:
             results = replay(cluster, batches, load=args.load)
     else:
         results = replay(cluster, batches, load=args.load)
+    serve_seconds = time.perf_counter() - t0
+
+    flip_applied = False
+    if flip_target is not None:
+        tier, shard, member = flip_target
+        if tier == "cold" and not cluster.scrubber._cold:
+            # no feature store rides this CLI: register a demo cold tier
+            # holding a copy of the final memory rows so the cold cell
+            # of the scrub matrix is exercisable end to end
+            from ..store import ColdTier
+            rows = cluster.memory_image()[0][: min(64, num_nodes)].copy()
+            cold = ColdTier(args.dim_mem)
+            cold.write(np.arange(len(rows)), None, rows)
+            cluster.scrubber.add_cold_tier(
+                cold,
+                source=lambda ns, ts: rows[np.asarray(ns, dtype=np.int64)],
+            )
+        flip_applied = cluster._apply_bitflip(
+            cluster.groups[shard], member,
+            ("flip", tier, 104729 + args.seed, 1 + args.seed % 7),
+        )
+        print(f"  injected bit flip: tier={tier} shard={shard} "
+              f"member={member} applied={flip_applied}")
+        cluster.drain()  # the scrub pass that detects + repairs the flip
 
     statuses = {s: sum(1 for r in results if r.status == s)
                 for s in ("ok", "shed", "timeout")}
@@ -211,7 +275,10 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
     if injector is not None:
         print(f"  chaos: {len(injector.log)} faults fired")
 
+    # Always printed, even when zero: a clean run must be distinguishable
+    # from an unreported one.
     zero_rows = int(ctx.counters.get("serve:zero_rows", 0))
+    print(f"  {'serve:zero_rows':34s} {zero_rows}")
     served_ok = [r for r in results if r.status == "ok"]
     fully_valid = sum(
         1 for r in served_ok if r.valid is None or bool(r.valid.all())
@@ -220,8 +287,38 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
     print(f"  read availability: {availability:.4f} "
           f"({fully_valid}/{len(results)} requests fully valid, "
           f"{zero_rows} zero-filled rows)")
+    scrub_seconds = float(stats.get("integrity:scrub_seconds", 0.0))
+    overhead = scrub_seconds / serve_seconds if serve_seconds > 0 else 0.0
+    print(f"  scrub: cycles={stats.get('integrity:cycles', 0)} "
+          f"skipped={stats.get('integrity:skipped_cycles', 0)} "
+          f"chunks={stats.get('integrity:chunks_scrubbed', 0)} "
+          f"divergences={stats.get('integrity:divergences', 0)} "
+          f"rows_repaired={stats.get('integrity:rows_repaired', 0)} "
+          f"seconds={scrub_seconds:.4f} ({overhead:.2%} of serve wall time)")
 
     failures = []
+    if flip_target is not None:
+        if not flip_applied:
+            failures.append(
+                f"--inject-bitflip {args.inject_bitflip}: the targeted tier "
+                "held no bytes to corrupt"
+            )
+        elif stats.get("integrity:divergences", 0) < 1:
+            failures.append(
+                "injected bit flip went undetected by the scrubber"
+            )
+        else:
+            for group in cluster.groups:
+                for rep in group.members:
+                    if rep.digests is None:
+                        continue
+                    for comp, cd in rep.digests.components():
+                        if cd.diverged():
+                            failures.append(
+                                f"shard {group.shard_id} member "
+                                f"{rep.member_id}: {comp} still divergent "
+                                "after repair"
+                            )
     if args.check_equivalence and args.replication_factor >= 2:
         # With a surviving member per group, no read may ever zero-fill.
         if zero_rows > 0:
@@ -242,12 +339,12 @@ def serve_cluster_main(argv: Optional[List[str]] = None) -> int:
             mailbox=mailbox, deadline=1e9, max_queue=1 << 30,
         )
         replay(single, batches, load=args.load)
-        same = (np.array_equal(mem.data.data, data)
-                and np.array_equal(mem.time, times))
+        same = mem.state_digest() == array_digest(data, times)
         if mailbox is not None and mb_image is not None:
-            same = (same
-                    and np.array_equal(mailbox.mail.data, mb_image[0])
-                    and np.array_equal(mailbox.time, mb_image[1]))
+            mail, mtime, cursor = mb_image
+            image_digest = (array_digest(mail, mtime) if cursor is None
+                            else array_digest(mail, mtime, cursor))
+            same = same and mailbox.state_digest() == image_digest
         print(f"  cluster/single-replica equivalence: "
               f"{'bit-identical' if same else 'DIVERGED'}")
         if not same:

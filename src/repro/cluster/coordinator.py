@@ -58,6 +58,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..integrity.scrubber import Scrubber
 from ..resilience.errors import TransientKernelError
 from ..resilience.hooks import poke as _poke
 from ..serve.admission import AdmissionController
@@ -121,6 +122,9 @@ class ClusterConfig:
     durable_root: Optional[str] = None  # None -> private temp dir
     fsync: str = "batch"
     snapshot_every: int = 64
+    # integrity scrubbing
+    scrub_interval: float = 0.25  # simulated seconds; <= 0 disables
+    scrub_chunk_rows: int = 32
 
     def __post_init__(self):
         if self.num_shards < 1:
@@ -239,6 +243,7 @@ class ServeCluster:
                     ),
                     mailbox_slots=mailbox_slots, fsync=cfg.fsync,
                     snapshot_every=cfg.snapshot_every,
+                    chunk_rows=cfg.scrub_chunk_rows,
                     member_id=m, host=hosts[i][m],
                 )
                 for m in range(cfg.replication_factor)
@@ -263,6 +268,10 @@ class ServeCluster:
             rebalance_patience=cfg.rebalance_patience,
             rebalance_max_fraction=cfg.rebalance_max_fraction,
             rebalance_handoff_seconds=cfg.rebalance_handoff_seconds,
+        )
+        self.scrubber = Scrubber(
+            self.groups, self.clock, interval=cfg.scrub_interval,
+            count=ctx.count,
         )
         self.ladder = ladder or DegradationLadder(
             full_fanout=sampler.num_nbrs,
@@ -290,6 +299,7 @@ class ServeCluster:
         self.partial_results = 0
         self.injected_crashes = 0
         self.injected_stalls = 0
+        self.injected_flips = 0
         #: endpoint rows served as zeros because a whole group was down.
         self.zero_rows = 0
         #: gathers answered by a follower instead of the primary.
@@ -345,6 +355,78 @@ class ServeCluster:
                 if factor:
                     rep.stall(now, float(factor), self.config.stall_window)
                     self.injected_stalls += 1
+        for i, group in enumerate(self.groups):
+            for m, rep in enumerate(group.members):
+                if not rep.alive or rep.recovering:
+                    continue
+                directive = _poke("mem.flip", shard=i, extra=i + n * m)
+                if directive is not None and directive[0] == "flip":
+                    if self._apply_bitflip(group, m, directive):
+                        self.injected_flips += 1
+                        self.ctx.count("integrity:injected_flips", 1)
+
+    def _apply_bitflip(self, group, member: int, directive) -> bool:
+        """Flip one live-state bit of *member*, bypassing the write path.
+
+        The directive's byte index is drawn from a huge nominal space and
+        reduced modulo the targeted tier's actual byte size, so one
+        deterministic decision lands somewhere valid in any state shape.
+        Returns False when the tier holds no bytes to corrupt (e.g. a
+        ``wal`` flip against a log whose segments are all empty).
+        """
+        _, tier, byte, bit = directive
+        mask = np.uint8(1 << bit)
+        rep = group.members[member]
+        if tier == "wal":
+            if rep.store is None:
+                return False
+            paths = [
+                p for p in rep.store.wal.segment_paths()
+                if os.path.getsize(p) > 16  # past the segment header
+            ]
+            if not paths:
+                return False
+            path = paths[byte % len(paths)]
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.seek(16 + byte % (size - 16))
+                old = fh.read(1)
+                fh.seek(-1, os.SEEK_CUR)
+                fh.write(bytes([old[0] ^ int(mask)]))
+            return True
+        if tier == "cold":
+            entries = self.scrubber._cold
+            if not entries:
+                return False
+            cold = entries[byte % len(entries)]["tier"]
+            if cold._nrows == 0:
+                return False
+            flat = np.asarray(
+                cold._rows[: cold._nrows]
+            ).view(np.uint8).reshape(-1)
+            flat[byte % len(flat)] ^= mask
+            return True
+        if tier == "mailbox":
+            mb = rep.mailbox
+            if mb is None:
+                return False
+            # The ring cursor is digest-covered but not a flip target: a
+            # corrupted cursor steers *later* writes to the wrong slot,
+            # and once the write path re-records those rows no digest can
+            # tell the state from a clean one — an unrepairable-by-design
+            # hole rather than the detect-and-repair cycle under test.
+            arrays = [mb.mail.data, mb.time]
+        else:  # 'memory'
+            if rep.memory is None:
+                return False
+            arrays = [rep.memory.data.data, rep.memory.time]
+        off = byte % sum(a.nbytes for a in arrays)
+        for arr in arrays:
+            if off < arr.nbytes:
+                arr.view(np.uint8).reshape(-1)[off] ^= mask
+                return True
+            off -= arr.nbytes
+        return False
 
     # ---- submission (mirrors ServeRuntime.submit) ----------------------------------
 
@@ -387,6 +469,7 @@ class ServeCluster:
             self.injector.advance(0, req.rid)
         self._chaos()
         self.supervisor.tick()
+        self.scrubber.maybe_scrub()
 
         remaining = req.deadline - self.clock.now()
         decision = self.ladder.decide(remaining, len(req.batch), self.ctx)
@@ -441,6 +524,10 @@ class ServeCluster:
         if len(tail):
             self._commit(tail, rid=self._next_rid)
         self._settle()
+        # Terminal anti-entropy pass: any flip still hiding (injected
+        # after the last periodic cycle) is caught before the state
+        # images are read as ground truth.
+        self.scrubber.scrub_now()
         return self.results
 
     def _settle(self) -> None:
@@ -527,6 +614,10 @@ class ServeCluster:
                     )
                 except RpcTimeout:
                     continue  # fail over to the next serving member
+                # Read-repair: during a suspect window (a skipped scrub
+                # cycle) verify exactly the chunks this read touches
+                # before any row is served.
+                self.scrubber.guard_read(int(shard), group, ridx2, nodes[idx])
                 rows[idx] = member.gather(nodes[idx])
                 slowest = max(slowest, elapsed)
                 if ridx2 != group.primary_idx:
@@ -756,6 +847,7 @@ class ServeCluster:
         out["cluster:pending_applies"] = self.pending_applies()
         out["cluster:injected_crashes"] = self.injected_crashes
         out["cluster:injected_stalls"] = self.injected_stalls
+        out["cluster:injected_flips"] = self.injected_flips
         out["cluster:zero_rows"] = self.zero_rows
         out["cluster:follower_reads"] = self.follower_reads
         out["cluster:staleness_lag"] = self.staleness_lag
@@ -763,6 +855,7 @@ class ServeCluster:
         out.update({f"cluster:{k}": v
                     for k, v in self.supervisor.stats.as_dict().items()})
         out.update({f"rpc:{k}": v for k, v in self.rpc.stats.as_dict().items()})
+        out.update(self.scrubber.stats())
         for i, rep in enumerate(self.replicas):
             out.update({f"shard:{i}:{k}": v for k, v in rep.stats().items()})
         for i, group in enumerate(self.groups):

@@ -27,8 +27,9 @@ equivalence:
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -36,10 +37,78 @@ from ..core.mailbox import Mailbox
 from ..core.memory import Memory
 from ..durable.codec import KIND_BATCH
 from ..durable.store import DurableStateStore
+from ..integrity.digest import ChunkedDigest, merkle_root
 from ..serve.commit import stage_updates
 from ..serve.events import EventBatch
 
 __all__ = ["ReplicaDown", "StaleLeaseError", "ShardReplica"]
+
+
+def _filtered_apply(
+    batch: EventBatch,
+    local_map: np.ndarray,
+    num_nodes: int,
+    dim: int,
+    memory: Memory,
+    mailbox: Optional[Mailbox],
+) -> np.ndarray:
+    """Stage *batch* and apply the rows *local_map* owns; returns them.
+
+    The one ownership-filtered apply used by live traffic, respawn
+    replay, and read-only shadow replay — all three must write the exact
+    same rows or recovery equivalence breaks.
+    """
+    nodes, values, times = stage_updates(batch, dim)
+    ok = (nodes >= 0) & (nodes < num_nodes)
+    own = np.zeros(len(nodes), dtype=bool)
+    own[ok] = local_map[nodes[ok]] >= 0
+    if not own.any():
+        return np.empty(0, dtype=np.int64)
+    local = local_map[nodes[own]]
+    memory.update(local, values[own], times[own])
+    if mailbox is not None:
+        mailbox.store(local, values[own], times[own])
+    return local
+
+
+class _StateDigests:
+    """Maintained chunk digests over one replica's local state tables.
+
+    Readers close over the replica so they always hash the *live* backing
+    arrays; the container is rebuilt whenever ownership (and therefore
+    table height) changes.
+    """
+
+    def __init__(self, replica: "ShardReplica", chunk_rows: int):
+        rows = len(replica.owned)
+        self.memory = ChunkedDigest(
+            lambda lo, hi: (
+                replica.memory.data.data[lo:hi],
+                replica.memory.time[lo:hi],
+            ),
+            rows,
+            chunk_rows,
+        )
+        self.mailbox: Optional[ChunkedDigest] = None
+        if replica.mailbox is not None:
+            def _mail_reader(lo, hi):
+                mb = replica.mailbox
+                out = (mb.mail.data[lo:hi], mb.time[lo:hi])
+                if mb._next_slot is not None:
+                    out = out + (mb._next_slot[lo:hi],)
+                return out
+
+            self.mailbox = ChunkedDigest(_mail_reader, rows, chunk_rows)
+
+    def record_rows(self, rows: np.ndarray) -> None:
+        self.memory.record_rows(rows)
+        if self.mailbox is not None:
+            self.mailbox.record_rows(rows)
+
+    def components(self):
+        yield "memory", self.memory
+        if self.mailbox is not None:
+            yield "mailbox", self.mailbox
 
 
 class ReplicaDown(RuntimeError):
@@ -87,10 +156,12 @@ class ShardReplica:
         snapshot_every: int = 64,
         member_id: int = 0,
         host: int = 0,
+        chunk_rows: int = 32,
     ):
         self.shard_id = int(shard_id)
         self.member_id = int(member_id)
         self.host = int(host)
+        self.chunk_rows = int(chunk_rows)
         self.num_nodes = int(num_nodes)
         self.dim = int(dim)
         self.mailbox_slots = int(mailbox_slots)
@@ -134,6 +205,9 @@ class ShardReplica:
         self._since_snapshot = 0
         # Anchor: ownership is durable before the first WAL record.
         self.write_snapshot()
+        #: maintained (expected) chunk digests — refreshed on every
+        #: legitimate write, so silent out-of-band mutation is detectable.
+        self.digests: Optional[_StateDigests] = _StateDigests(self, self.chunk_rows)
 
     # ---- liveness ------------------------------------------------------------------
 
@@ -160,6 +234,7 @@ class ShardReplica:
         self.crashes += 1
         self.memory = None
         self.mailbox = None
+        self.digests = None
         if self.store is not None:
             self.store.close()
             self.store = None
@@ -204,6 +279,7 @@ class ShardReplica:
                 self.mailbox._next_slot[...] = arrays["mailbox/cursor"]
         self.last_seq = int(state.snapshot_meta.get("seq", -1))
         self.lease_epoch = int(state.snapshot_meta.get("epoch", 0))
+        self.digests = _StateDigests(self, self.chunk_rows)
         replayed = 0
         for record in state.records:
             if record.kind != KIND_BATCH:
@@ -226,18 +302,19 @@ class ShardReplica:
     # ---- state application ---------------------------------------------------------
 
     def _apply_rows(self, batch: EventBatch) -> int:
-        """Stage *batch* and apply the endpoint rows this shard owns."""
-        nodes, values, times = stage_updates(batch, self.dim)
-        ok = (nodes >= 0) & (nodes < self.num_nodes)
-        own = np.zeros(len(nodes), dtype=bool)
-        own[ok] = self._local[nodes[ok]] >= 0
-        if not own.any():
-            return 0
-        local = self._local[nodes[own]]
-        self.memory.update(local, values[own], times[own])
-        if self.mailbox is not None:
-            self.mailbox.store(local, values[own], times[own])
-        return int(own.sum())
+        """Stage *batch* and apply the endpoint rows this shard owns.
+
+        The chunks covering the written rows are re-hashed right after
+        the write (O(dirty rows)): the maintained digests always describe
+        exactly what the apply path produced, which is what makes a later
+        recompute mismatch proof of out-of-band mutation.
+        """
+        local = _filtered_apply(
+            batch, self._local, self.num_nodes, self.dim, self.memory, self.mailbox
+        )
+        if len(local) and self.digests is not None:
+            self.digests.record_rows(local)
+        return int(len(local))
 
     def apply(self, batch: EventBatch, seq: int, epoch: Optional[int] = None) -> bool:
         """Durably apply one cluster-committed sub-batch (idempotent).
@@ -295,6 +372,129 @@ class ShardReplica:
                 "nodes it does not own"
             )
         return self.memory.data.data[local]
+
+    # ---- integrity -----------------------------------------------------------------
+
+    def read_rows(self, component: str, rows: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Copies of local *rows* of one state table (repair-donor read)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if component == "memory":
+            return (self.memory.data.data[rows].copy(), self.memory.time[rows].copy())
+        if component == "mailbox" and self.mailbox is not None:
+            out = [self.mailbox.mail.data[rows].copy(), self.mailbox.time[rows].copy()]
+            if self.mailbox._next_slot is not None:
+                out.append(self.mailbox._next_slot[rows].copy())
+            return tuple(out)
+        raise KeyError(f"unknown state component {component!r}")
+
+    def overwrite_rows(
+        self,
+        component: str,
+        rows: np.ndarray,
+        arrays: Tuple[np.ndarray, ...],
+        record: bool = False,
+    ) -> None:
+        """Integrity repair: overwrite local *rows* of one state table.
+
+        With ``record=False`` (corruption repair) the maintained digests
+        are left alone so the scrubber's post-repair recompute verifies
+        the repair against the pre-corruption expectation; ``record=True``
+        (logical-divergence repair) adopts the new rows as the expected
+        state.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if component == "memory":
+            self.memory.data.data[rows] = arrays[0]
+            self.memory.time[rows] = arrays[1]
+            if record and self.digests is not None:
+                self.digests.memory.record_rows(rows)
+            return
+        if component == "mailbox" and self.mailbox is not None:
+            self.mailbox.mail.data[rows] = arrays[0]
+            self.mailbox.time[rows] = arrays[1]
+            if self.mailbox._next_slot is not None:
+                self.mailbox._next_slot[rows] = arrays[2]
+            if record and self.digests is not None:
+                self.digests.mailbox.record_rows(rows)
+            return
+        raise KeyError(f"unknown state component {component!r}")
+
+    def shadow_state(self) -> Optional[Tuple[Memory, Optional[Mailbox], int]]:
+        """Rebuild acked state from durable evidence, without side effects.
+
+        Read-only respawn: loads the newest snapshot and replays the
+        committed WAL suffix into *fresh* tables — the live tables, the
+        WAL, and the maintained digests are untouched.  Returns ``None``
+        when the evidence cannot arbitrate: no snapshot, ownership
+        drifted from the live tables (mid-rebalance), or the replay falls
+        short of the live applied sequence (damaged or torn suffix).
+        """
+        if self.store is None or not self.alive:
+            return None
+        state = self.store.recover()
+        if state.snapshot_arrays is None:
+            return None
+        arrays = state.snapshot_arrays
+        owned = np.asarray(arrays["owned"], dtype=np.int64)
+        if not np.array_equal(owned, self.owned):
+            return None
+        memory = Memory(len(owned), self.dim)
+        memory.data.data[...] = arrays["memory/data"]
+        memory.time[...] = arrays["memory/time"]
+        mailbox: Optional[Mailbox] = None
+        if self.mailbox_slots > 0:
+            mailbox = Mailbox(len(owned), self.dim, slots=self.mailbox_slots)
+            mailbox.mail.data[...] = arrays["mailbox/mail"]
+            mailbox.time[...] = arrays["mailbox/time"]
+            if mailbox._next_slot is not None:
+                mailbox._next_slot[...] = arrays["mailbox/cursor"]
+        seq = int(state.snapshot_meta.get("seq", -1))
+        for record in state.records:
+            if record.kind != KIND_BATCH:
+                continue
+            batch = EventBatch.from_arrays(record.arrays)
+            if len(batch):
+                _filtered_apply(
+                    batch, self._local, self.num_nodes, self.dim, memory, mailbox
+                )
+            seq = max(seq, int(record.meta.get("seq", -1)))
+        if seq != self.last_seq:
+            return None
+        return memory, mailbox, seq
+
+    def verify_wal(self) -> list:
+        """Damaged WAL segment paths (empty = every segment parses intact)."""
+        if self.store is None:
+            return []
+        return self.store.wal.verify()
+
+    def reanchor_wal(self) -> int:
+        """Repair a damaged WAL by re-anchoring on verified live state.
+
+        Rotate-then-snapshot: the damaged segment is sealed, the snapshot
+        covers every record it held, and compaction deletes it — callers
+        must have digest-verified the live tables first, because the
+        snapshot *is* them.  Returns the number of segments dropped.
+        """
+        if self.store is None or not self.alive:
+            raise ReplicaDown(f"shard {self.shard_id} is down")
+        before = self.store.compacted_segments
+        self.store.wal.rotate()
+        self.write_snapshot()
+        return self.store.compacted_segments - before
+
+    def integrity_summary(self) -> Dict[str, object]:
+        """Per-replica merkle summary: component roots plus a replica root."""
+        if not self.alive or self.digests is None:
+            raise ReplicaDown(f"shard {self.shard_id} is down")
+        components = {name: cd.root() for name, cd in self.digests.components()}
+        if self.store is not None:
+            components["wal"] = merkle_root(self.store.wal.segment_digests())
+        blob = "|".join(f"{k}:{v}" for k, v in sorted(components.items()))
+        return {
+            "components": components,
+            "root": hashlib.sha256(blob.encode()).hexdigest(),
+        }
 
     # ---- snapshots / rebalance -----------------------------------------------------
 
@@ -364,6 +564,7 @@ class ShardReplica:
             self.mailbox.time[...] = old_mailbox.time[kept_local]
             if self.mailbox._next_slot is not None:
                 self.mailbox._next_slot[...] = old_mailbox._next_slot[kept_local]
+        self.digests = _StateDigests(self, self.chunk_rows)
         self.write_snapshot()
         return out
 
@@ -390,6 +591,7 @@ class ShardReplica:
             if self.mailbox._next_slot is not None:
                 self.mailbox._next_slot[had] = old_mailbox._next_slot[prev[had]]
                 self.mailbox._next_slot[new_local] = state["mailbox/cursor"]
+        self.digests = _StateDigests(self, self.chunk_rows)
         self.write_snapshot()
 
     # ---- reporting / lifecycle -----------------------------------------------------

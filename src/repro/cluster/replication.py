@@ -145,6 +145,19 @@ class ReplicaGroup:
             return None
         return max(candidates, key=lambda i: (self.members[i].last_seq, -i))
 
+    def member_settled(self, idx: int) -> bool:
+        """Is member *idx* serving, fully caught up, and queue-empty?
+
+        The scrubber only cross-compares maintained digests between
+        settled members: a member with parked redeliveries legitimately
+        lags its peers, and comparing it would report false divergence.
+        """
+        return (
+            self.serving(idx)
+            and not self._pending[idx]
+            and self.members[idx].last_seq == self.committed_seq
+        )
+
     # ---- quorum log shipping -------------------------------------------------------
 
     def _defer(self, idx: int, seq: int, batch: EventBatch) -> None:

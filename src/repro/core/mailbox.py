@@ -162,6 +162,19 @@ class Mailbox:
             self.device = target
         return self
 
+    def state_digest(self) -> str:
+        """Canonical sha256 of the full state (mail, times, ring cursors).
+
+        Covers the ring-buffer write cursor too (multi-slot mailboxes):
+        two mailboxes that hold the same rows but would write the *next*
+        message to different slots are not equivalent states.
+        """
+        from ..integrity.digest import array_digest
+
+        if self._next_slot is None:
+            return array_digest(self.mail.data, self.time)
+        return array_digest(self.mail.data, self.time, self._next_slot)
+
     def nbytes(self) -> int:
         return self.mail.data.nbytes + self.time.nbytes
 

@@ -125,6 +125,17 @@ class Memory:
             self.device = target
         return self
 
+    def state_digest(self) -> str:
+        """Canonical sha256 of the full state (vectors + update times).
+
+        Two memories digest equal iff they are bit-identical — the
+        equivalence currency used by replica scrubbing and the cluster
+        equivalence tests.
+        """
+        from ..integrity.digest import array_digest
+
+        return array_digest(self.data.data, self.time)
+
     def nbytes(self) -> int:
         return self.data.data.nbytes + self.time.nbytes
 

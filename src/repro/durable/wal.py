@@ -40,6 +40,7 @@ lost fsyncs followed by a crash (:class:`SimulatedDiskCrash`).
 
 from __future__ import annotations
 
+import hashlib
 import os
 import re
 import struct
@@ -476,6 +477,59 @@ class WriteAheadLog:
             if not intact:
                 return
             prev = last if last is not None else prev
+
+    def segment_digests(self) -> List[str]:
+        """sha256 hex digest of each live segment's on-disk bytes.
+
+        Flushes the open segment first so the digests cover everything
+        appended so far; leaves for the per-replica merkle summary.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+        out = []
+        for seg in self._segments:
+            with open(seg.path, "rb") as fh:
+                out.append(hashlib.sha256(fh.read()).hexdigest())
+        return out
+
+    def verify(self) -> List[str]:
+        """Integrity-check every live segment; returns the damaged paths.
+
+        Re-reads each segment from disk (without fault injection — this
+        is the scrubber's ground-truth pass) and parses its committed
+        prefix.  A segment whose bytes no longer parse to its full length
+        (bit rot, a flipped frame, an LSN hole) is reported damaged.  The
+        LSN chain restarts after a damaged segment so one bad segment
+        does not implicate every later one.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+        prev: Optional[int] = None
+        damaged: List[str] = []
+        for seg in self._segments:
+            _, _, intact, last = self._parse_segment(seg.path, prev, inject=False)
+            if not intact:
+                damaged.append(seg.path)
+                prev = None
+            else:
+                prev = last if last is not None else prev
+        return damaged
+
+    def rotate(self) -> None:
+        """Seal the current segment and start a fresh one.
+
+        Public for integrity repair: re-anchoring a damaged log first
+        rotates so the damaged segment is sealed, then snapshots so
+        :meth:`compact_below` can delete it.
+        """
+        self._check_alive()
+        self._rotate()
+
+    def segment_paths(self) -> List[str]:
+        """Paths of every live segment, the open one flushed first."""
+        if self._fh is not None:
+            self._fh.flush()
+        return [seg.path for seg in self._segments]
 
     # ---- maintenance -------------------------------------------------------------
 

@@ -73,6 +73,8 @@ DECISIONS: Dict[str, str] = {
     "repl.ship.drop": "repl.ship",
     "repl.ack.drop": "repl.ack",
     "repl.promote.delay": "repl.promote",
+    "mem.flip": "mem.flip",
+    "scrub.skip": "scrub.skip",
 }
 
 _MASK64 = (1 << 64) - 1
@@ -197,6 +199,20 @@ class FaultInjector:
             positions) at which one promotion attempt is delayed by a
             tick (site ``repl.promote``; the supervisor retries, bounding
             the window in which reads fail over to followers).
+        mem_flip_rate / mem_flips: probability (or explicit
+            ``(epoch, batch)`` / ``(epoch, batch, extra)`` positions,
+            ``extra = shard + num_shards * member``) at which one bit of
+            a replica member's live state flips *outside* the write path
+            (site ``mem.flip``; only the integrity scrubber can catch
+            it).  Which state rots is picked by ``mem_flip_tier``.
+        mem_flip_tier: what a ``mem.flip`` corrupts — ``"memory"``
+            (node-memory table), ``"mailbox"``, ``"wal"`` (a durable
+            segment's on-disk bytes), or ``"cold"`` (feature-store cold
+            rows).
+        scrub_skip_rate / scrub_skips: probability per scrub cycle (or
+            explicit cycle numbers) at which one due anti-entropy scrub
+            cycle is suppressed (site ``scrub.skip``; widens the window
+            a flipped bit can sit undetected, exercising read-repair).
         rates: extra ``{decision name: probability}`` entries (see
             :data:`DECISIONS`); unknown names raise ``ValueError``.
         schedules: extra ``{decision name: positions}`` entries; unknown
@@ -249,6 +265,11 @@ class FaultInjector:
         repl_ack_drops: Iterable[Tuple[int, ...]] = (),
         repl_promote_delay_rate: float = 0.0,
         repl_promote_delays: Iterable[Tuple[int, ...]] = (),
+        mem_flip_rate: float = 0.0,
+        mem_flips: Iterable[Tuple[int, ...]] = (),
+        mem_flip_tier: str = "memory",
+        scrub_skip_rate: float = 0.0,
+        scrub_skips: Iterable[int] = (),
         rates: Optional[Dict[str, float]] = None,
         schedules: Optional[Dict[str, Iterable[Tuple[int, ...]]]] = None,
         transient: bool = True,
@@ -272,6 +293,8 @@ class FaultInjector:
             "repl.ship.drop": float(repl_ship_drop_rate),
             "repl.ack.drop": float(repl_ack_drop_rate),
             "repl.promote.delay": float(repl_promote_delay_rate),
+            "mem.flip": float(mem_flip_rate),
+            "scrub.skip": float(scrub_skip_rate),
         }
         self.schedules: Dict[str, Set[Tuple[int, ...]]] = {
             "kernel.sample": {tuple(p) for p in kernel_fault_batches},
@@ -294,6 +317,7 @@ class FaultInjector:
             "repl.ship.drop": {tuple(p) for p in repl_ship_drops},
             "repl.ack.drop": {tuple(p) for p in repl_ack_drops},
             "repl.promote.delay": {tuple(p) for p in repl_promote_delays},
+            "mem.flip": {tuple(p) for p in mem_flips},
         }
         for name, rate in (rates or {}).items():
             self._check_decision(name)
@@ -305,6 +329,13 @@ class FaultInjector:
             )
         for name in list(self.rates) + list(self.schedules):
             self._check_decision(name)
+        if mem_flip_tier not in ("memory", "mailbox", "wal", "cold"):
+            raise ValueError(
+                f"mem_flip_tier {mem_flip_tier!r} not one of "
+                "'memory', 'mailbox', 'wal', 'cold'"
+            )
+        self.mem_flip_tier = mem_flip_tier
+        self.scrub_skips: Set[int] = {int(c) for c in scrub_skips}
         self.straggler_factor = float(straggler_factor)
         self.shard_stall_factor = float(shard_stall_factor)
         self.process_kill_at = tuple(process_kill_at) if process_kill_at else None
@@ -468,6 +499,39 @@ class FaultInjector:
                 detail=f"shard {info.get('shard')}",
             ):
                 return True
+        elif site == "mem.flip":
+            # Decision key is the caller's `extra` (shard + num_shards *
+            # member) so a scheduled flip targets one group member; the
+            # caller mods the byte index by the actual state size.
+            extra = int(info.get("extra", 0))
+            if self._fires(
+                "mem.flip", extra=extra,
+                detail=f"tier {self.mem_flip_tier} extra {extra}",
+            ):
+                return ("flip", self.mem_flip_tier) + self._flip_position(
+                    "mem.flip", 1 << 30
+                )
+        elif site == "scrub.skip":
+            # Keyed by scrub cycle, not the stream cursor: the scrubber
+            # runs on its own cadence and a schedule of cycle numbers
+            # must hit regardless of which batch is in flight.
+            cycle = int(info.get("cycle", 0))
+            rate = self.rates.get("scrub.skip", 0.0)
+            hit = cycle in self.scrub_skips or (
+                rate > 0.0
+                and _hash_decision(self.seed, "scrub.skip", 0, cycle, 0) < rate
+            )
+            if hit:
+                key = ("scrub.skip", 0, cycle, 0)
+                if not (self.transient and key in self._fired):
+                    self._fired.add(key)
+                    self.log.append(
+                        FaultEvent(
+                            "scrub.skip", self.epoch, self.batch,
+                            f"cycle {cycle}",
+                        )
+                    )
+                    return True
         elif site == "heartbeat.drop":
             if self._fires(
                 "heartbeat.drop", extra=int(info.get("extra", 0)),

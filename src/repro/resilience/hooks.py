@@ -36,6 +36,8 @@ site                 where                                       returns
 ``repl.ship``        ``cluster.replication.ReplicaGroup.ship``   directive
 ``repl.ack``         ``cluster.replication.ReplicaGroup.ship``   directive
 ``repl.promote``     ``cluster.supervisor`` promotion attempt    bool
+``mem.flip``         ``cluster.coordinator`` chaos step          directive
+``scrub.skip``       ``integrity.scrubber.Scrubber.maybe_scrub`` bool
 ===================  ==========================================  =========
 
 A site either returns a value (crash/straggler queries, disk-corruption
@@ -76,6 +78,8 @@ SITES: Dict[str, str] = {
     "repl.ship": "cluster.replication.ReplicaGroup.ship (follower leg)",
     "repl.ack": "cluster.replication.ReplicaGroup.ship (follower ack leg)",
     "repl.promote": "cluster.supervisor.Supervisor promotion attempt",
+    "mem.flip": "cluster.coordinator.ServeCluster.step (silent state flip)",
+    "scrub.skip": "integrity.scrubber.Scrubber.maybe_scrub",
 }
 
 _ACTIVE: Optional[Any] = None

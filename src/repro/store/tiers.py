@@ -26,6 +26,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..integrity.errors import IntegrityUnrepairable
 from ..resilience.hooks import poke as _poke
 from ..tensor import Tensor
 from ..tensor.device import CPU
@@ -229,7 +230,69 @@ class ColdTier:
             # and surface the incident instead of returning garbage.
             self.faults += int(bad.sum())
             raw[bad] = self._rows[slots[bad]]
+            # Re-verify: when the backing rows themselves rotted, the
+            # re-read returns the same bad bytes — the preferred repair
+            # source is degraded, and serving them silently is the one
+            # thing an integrity layer must never do.
+            still = _row_checksums(raw[bad]) != self._sums[slots[bad]]
+            if still.any():
+                raise IntegrityUnrepairable(
+                    f"cold tier {self.path or '<anon-cold>'}: "
+                    f"{int(still.sum())} row(s) fail checksum after re-read "
+                    "(backing store corrupt, no deeper repair source)",
+                    component="cold", rows=int(still.sum()),
+                )
         return raw
+
+    def scrub(self, source=None, authority: bool = False) -> Dict[str, int]:
+        """Checksum-verify every resident row; repair, drop, or raise.
+
+        Corrupt rows are rewritten from *source* (``source(nodes, times)
+        -> rows`` — the deeper authority) when one is given.  Without
+        one, a spill *cache* drops the corrupt entries so the next read
+        faults through to the authority, while ``authority=True`` (these
+        rows are the only copy) raises :class:`IntegrityUnrepairable`.
+        Returns ``{"checked", "corrupt", "repaired", "dropped"}``.
+        """
+        if self._nrows == 0:
+            return {"checked": 0, "corrupt": 0, "repaired": 0, "dropped": 0}
+        live = _row_checksums(np.asarray(self._rows[: self._nrows]))
+        bad_slots = set(np.flatnonzero(live != self._sums[: self._nrows]).tolist())
+        checked = self._nrows
+        if not bad_slots:
+            return {"checked": checked, "corrupt": 0, "repaired": 0, "dropped": 0}
+        bad_keys = [k for k, slot in self._index.items() if slot in bad_slots]
+        corrupt = len(bad_keys)
+        # Orphaned slots (entries dropped by an earlier scrub) carry no
+        # data anyone can read: resign their checksums so they stop
+        # re-flagging every cycle.
+        orphans = np.array(
+            sorted(bad_slots - set(self._index.values())), dtype=np.int64
+        )
+        if len(orphans):
+            self._sums[orphans] = live[orphans]
+        if source is not None and bad_keys:
+            nodes = np.array([k[0] for k in bad_keys], dtype=np.int64)
+            times = np.array([k[1] for k in bad_keys], dtype=np.float64)
+            rows = np.ascontiguousarray(source(nodes, times), dtype=np.float32)
+            slots = np.array([self._index[k] for k in bad_keys], dtype=np.int64)
+            self._rows[slots] = rows
+            self._sums[slots] = _row_checksums(rows)
+            self.faults += corrupt
+            return {"checked": checked, "corrupt": corrupt,
+                    "repaired": corrupt, "dropped": 0}
+        if authority:
+            raise IntegrityUnrepairable(
+                f"cold tier {self.path or '<anon-cold>'}: {corrupt} "
+                "authoritative row(s) corrupt with no repair source",
+                component="cold", rows=corrupt,
+            )
+        for key in bad_keys:
+            slot = self._index.pop(key)
+            self._sums[slot] = live[slot]
+        self.faults += corrupt
+        return {"checked": checked, "corrupt": corrupt, "repaired": 0,
+                "dropped": corrupt}
 
     def clear(self) -> None:
         """Forget all rows (the backing file, if any, is left for reuse)."""

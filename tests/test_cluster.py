@@ -26,6 +26,7 @@ from repro.cluster import (
     hash_shard,
 )
 from repro.core import Mailbox, Memory, TContext, TGraph, TSampler
+from repro.integrity import array_digest
 from repro.resilience import FaultInjector
 from repro.resilience import hooks
 from repro.serve import (
@@ -68,6 +69,25 @@ def _single_images(stream, batches, num_nodes=N, load=16.0):
                            deadline=1.0, max_queue=1 << 30)
     replay(runtime, batches, load=load)
     return mem, mailbox
+
+
+def _cluster_digests(cluster):
+    """(memory, mailbox) state digests of the assembled cluster images."""
+    data, times = cluster.memory_image()
+    mem_d = array_digest(data, times)
+    img = cluster.mailbox_image()
+    if img is None:
+        return mem_d, None
+    mail, mtime, cursor = img
+    mail_d = (array_digest(mail, mtime) if cursor is None
+              else array_digest(mail, mtime, cursor))
+    return mem_d, mail_d
+
+
+def _single_digests(stream, batches, num_nodes=N, load=16.0):
+    """(memory, mailbox) state digests of a clean single-runtime replay."""
+    mem, mailbox = _single_images(stream, batches, num_nodes, load)
+    return mem.state_digest(), mailbox.state_digest()
 
 
 def _replica(tmp_path, owned, name="shard", **kw):
@@ -225,9 +245,7 @@ def test_replica_crash_respawn_is_bit_identical(tmp_path):
         batch = _payload_batch([seq], [2 * seq % N], [(2 * seq + 1) % N],
                                [float(seq)], seed=seq)
         assert rep.apply(batch, seq)
-    mem_before = rep.memory.data.data.copy()
-    time_before = rep.memory.time.copy()
-    mail_before = rep.mailbox.mail.data.copy()
+    digests_before = (rep.memory.state_digest(), rep.mailbox.state_digest())
 
     rep.crash()
     assert not rep.alive
@@ -237,20 +255,19 @@ def test_replica_crash_respawn_is_bit_identical(tmp_path):
     assert rep.alive and rep.last_seq == 6
     # snapshot_every=3 means the WAL suffix past the last snapshot replays
     assert info["replayed"] == rep._since_snapshot
-    assert np.array_equal(rep.memory.data.data, mem_before)
-    assert np.array_equal(rep.memory.time, time_before)
-    assert np.array_equal(rep.mailbox.mail.data, mail_before)
+    assert (rep.memory.state_digest(), rep.mailbox.state_digest()) \
+        == digests_before
 
 
 def test_replica_duplicate_apply_is_a_noop(tmp_path):
     rep = _replica(tmp_path, np.arange(N))
     batch = _payload_batch([0], [1], [2], [1.0])
     assert rep.apply(batch, 0)
-    snap = rep.memory.data.data.copy()
+    snap = rep.memory.state_digest()
     # redelivery (hedge double-delivery, retry after lost ack): no-op
     assert not rep.apply(batch, 0)
     assert rep.duplicate_batches == 1
-    assert np.array_equal(rep.memory.data.data, snap)
+    assert rep.memory.state_digest() == snap
     assert rep.applied_batches == 1
 
 
@@ -281,13 +298,8 @@ def test_cluster_matches_single_runtime_clean(partition):
     with cluster:
         results = replay(cluster, batches, load=16.0)
         assert all(r.status == "ok" for r in results)
-        data, times = cluster.memory_image()
-        mail, mtime, _ = cluster.mailbox_image()
-    mem, mailbox = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
-    assert np.array_equal(mailbox.mail.data, mail)
-    assert np.array_equal(mailbox.time, mtime)
+        digests = _cluster_digests(cluster)
+    assert digests == _single_digests(stream, batches)
 
 
 def test_cluster_chaos_equivalence_with_shard_kill():
@@ -308,8 +320,7 @@ def test_cluster_chaos_equivalence_with_shard_kill():
     with cluster, injector:
         results = replay(cluster, batches, load=16.0)
         stats = cluster.stats()
-        data, times = cluster.memory_image()
-        mail, mtime, _ = cluster.mailbox_image()
+        digests = _cluster_digests(cluster)
     # the kill really happened, failover really ran
     assert stats["cluster:injected_crashes"] >= 1
     assert stats["cluster:failovers"] >= 1
@@ -318,11 +329,7 @@ def test_cluster_chaos_equivalence_with_shard_kill():
     # service continued: every request completed (degraded, not dropped)
     assert all(r.status == "ok" for r in results)
     assert stats["cluster:partial_results"] > 0
-    mem, mailbox = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
-    assert np.array_equal(mailbox.mail.data, mail)
-    assert np.array_equal(mailbox.time, mtime)
+    assert digests == _single_digests(stream, batches)
 
 
 def test_cluster_partial_results_while_shard_down():
@@ -418,14 +425,14 @@ def _assert_members_identical(cluster):
     for group in cluster.groups:
         first = group.members[0]
         for member in group.members[1:]:
-            assert np.array_equal(
-                first.memory.data.data, member.memory.data.data
-            ), f"group {group.shard_id}: member {member.member_id} diverged"
-            assert np.array_equal(first.memory.time, member.memory.time)
-            if first.mailbox is not None:
-                assert np.array_equal(
-                    first.mailbox.mail.data, member.mailbox.mail.data
+            assert first.memory.state_digest() == \
+                member.memory.state_digest(), (
+                    f"group {group.shard_id}: member {member.member_id} "
+                    "diverged"
                 )
+            if first.mailbox is not None:
+                assert first.mailbox.state_digest() == \
+                    member.mailbox.state_digest()
             assert first.last_seq == member.last_seq
 
 
@@ -475,7 +482,7 @@ def test_replicated_clean_replay_members_bit_identical(factor):
         results = replay(cluster, batches, load=16.0)
         assert all(r.status == "ok" for r in results)
         _assert_members_identical(cluster)
-        data, times = cluster.memory_image()
+        mem_digest, _ = _cluster_digests(cluster)
         stats = cluster.stats()
     # every commit reached quorum on a clean network
     for i in range(4):
@@ -483,8 +490,7 @@ def test_replicated_clean_replay_members_bit_identical(factor):
         assert stats[f"group:{i}:under_quorum"] == 0
     assert stats["cluster:zero_rows"] == 0
     mem, _ = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
+    assert mem.state_digest() == mem_digest
 
 
 def test_primary_kill_promotes_follower_and_never_zero_fills():
@@ -503,8 +509,7 @@ def test_primary_kill_promotes_follower_and_never_zero_fills():
         results = replay(cluster, batches, load=16.0)
         stats = cluster.stats()
         _assert_members_identical(cluster)
-        data, times = cluster.memory_image()
-        mail, mtime, _ = cluster.mailbox_image()
+        digests = _cluster_digests(cluster)
     assert stats["cluster:injected_crashes"] >= 1
     assert stats["cluster:promotions"] >= 1
     assert stats["group:1:epoch"] >= 1
@@ -514,11 +519,7 @@ def test_primary_kill_promotes_follower_and_never_zero_fills():
     assert ctx.counters.get("serve:zero_rows", 0) == 0
     assert all(r.valid is None or bool(r.valid.all()) for r in results)
     assert stats["cluster:follower_reads"] >= 1
-    mem, mailbox = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
-    assert np.array_equal(mailbox.mail.data, mail)
-    assert np.array_equal(mailbox.time, mtime)
+    assert digests == _single_digests(stream, batches)
 
 
 def test_cascading_failover_promoted_primary_killed():
@@ -539,7 +540,7 @@ def test_cascading_failover_promoted_primary_killed():
         results = replay(cluster, batches, load=16.0)
         stats = cluster.stats()
         _assert_members_identical(cluster)
-        data, times = cluster.memory_image()
+        mem_digest, _ = _cluster_digests(cluster)
     assert stats["cluster:injected_crashes"] >= 2
     assert stats["group:1:promotions"] >= 2
     assert stats["group:1:epoch"] >= 2
@@ -547,8 +548,7 @@ def test_cascading_failover_promoted_primary_killed():
     assert stats["cluster:zero_rows"] == 0
     assert stats["cluster:pending_applies"] == 0
     mem, _ = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
+    assert mem.state_digest() == mem_digest
 
 
 def test_ack_drop_below_quorum_is_counted_not_aborted():
@@ -563,7 +563,7 @@ def test_ack_drop_below_quorum_is_counted_not_aborted():
         replay(cluster, batches, load=16.0)
         stats = cluster.stats()
         _assert_members_identical(cluster)
-        data, times = cluster.memory_image()
+        mem_digest, _ = _cluster_digests(cluster)
         # no LSN gaps: every member applied the full committed sequence
         for group in cluster.groups:
             for member in group.members:
@@ -576,7 +576,7 @@ def test_ack_drop_below_quorum_is_counted_not_aborted():
         assert (stats[f"group:{i}:quorum_commits"]
                 + stats[f"group:{i}:under_quorum"]) == stats[f"group:{i}:ships"]
     mem, _ = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
+    assert mem.state_digest() == mem_digest
 
 
 def test_ack_drop_at_quorum_still_commits():
@@ -605,15 +605,14 @@ def test_ship_drop_parks_in_order_and_redelivers():
         replay(cluster, batches, load=16.0)
         stats = cluster.stats()
         _assert_members_identical(cluster)
-        data, times = cluster.memory_image()
+        mem_digest, _ = _cluster_digests(cluster)
     dropped = stats["rpc:dropped_ships"]
     assert dropped >= 1
     assert stats["cluster:deferred_applies"] >= dropped
     assert stats["cluster:redelivered"] >= dropped
     assert stats["cluster:pending_applies"] == 0
     mem, _ = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
+    assert mem.state_digest() == mem_digest
 
 
 def test_strict_staleness_promotes_before_reading():
@@ -755,11 +754,10 @@ def test_promote_delay_is_bounded_and_retried():
         results = replay(cluster, batches, load=16.0)
         stats = cluster.stats()
         _assert_members_identical(cluster)
-        data, times = cluster.memory_image()
+        mem_digest, _ = _cluster_digests(cluster)
     assert stats["cluster:promote_delays"] >= 1
     assert stats["cluster:promotions"] >= 1  # the cap forced it through
     assert all(r.status == "ok" for r in results)
     assert stats["cluster:zero_rows"] == 0
     mem, _ = _single_images(stream, batches)
-    assert np.array_equal(mem.data.data, data)
-    assert np.array_equal(mem.time, times)
+    assert mem.state_digest() == mem_digest

@@ -253,8 +253,7 @@ class TestStateCommitter:
         mem, mb = Memory(N, DIM), Mailbox(N, DIM)
         c = StateCommitter(mem, mailbox=mb)
         c.commit(_batch([0], [1], [2], [1.0]))
-        before = (mem.data.data.copy(), mem.time.copy(),
-                  mb.mail.data.copy(), mb.time.copy())
+        before = (mem.state_digest(), mb.state_digest())
         quarantined = []
         c.quarantine = lambda b, d: quarantined.append((len(b), d))
         inj = FaultInjector(seed=2, serve_poison_batches=[(0, 0)])
@@ -263,10 +262,7 @@ class TestStateCommitter:
             r = c.commit(_batch([5, 6], [7, 8], [9, 10], [2.0, 3.0]))
         assert not r.applied and r.violations
         assert quarantined and quarantined[0][0] == 2
-        assert np.array_equal(mem.data.data, before[0])
-        assert np.array_equal(mem.time, before[1])
-        assert np.array_equal(mb.mail.data, before[2])
-        assert np.array_equal(mb.time, before[3])
+        assert (mem.state_digest(), mb.state_digest()) == before
         assert c.committed_watermark == 1.0  # never advanced past the rollback
 
     def test_transient_commit_fault_retries(self):
@@ -286,10 +282,8 @@ class TestStateCommitter:
         for perm in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
             mem = Memory(N, DIM)
             StateCommitter(mem).commit(b.take(np.array(perm)))
-            states.append((mem.data.data.copy(), mem.time.copy()))
-        for data, time in states[1:]:
-            assert np.array_equal(data, states[0][0])
-            assert np.array_equal(time, states[0][1])
+            states.append(mem.state_digest())
+        assert all(d == states[0] for d in states[1:])
 
 
 class TestServeRuntime:
@@ -348,8 +342,8 @@ class TestServeRuntime:
         assert rt_fast.ladder.degraded_serves > 0
         rt_slow = _runtime(stream)
         replay(rt_slow, batches, load=1.0)
-        assert np.array_equal(rt_fast.memory.data.data, rt_slow.memory.data.data)
-        assert np.array_equal(rt_fast.mailbox.mail.data, rt_slow.mailbox.mail.data)
+        assert rt_fast.memory.state_digest() == rt_slow.memory.state_digest()
+        assert rt_fast.mailbox.state_digest() == rt_slow.mailbox.state_digest()
 
     def test_sixteen_x_load_stays_available_with_consistent_stats(self):
         stream = build_stream(N, 600, payload_dim=DIM, seed=6)
@@ -380,10 +374,8 @@ class TestPoisonedStreamEquivalence:
         rt_c = self._final_state(clean, clean, 0.0, 17)
         rt_p = self._final_state(clean, poisoned, lateness, 23)
 
-        assert np.array_equal(rt_c.memory.data.data, rt_p.memory.data.data)
-        assert np.array_equal(rt_c.memory.time, rt_p.memory.time)
-        assert np.array_equal(rt_c.mailbox.mail.data, rt_p.mailbox.mail.data)
-        assert np.array_equal(rt_c.mailbox.time, rt_p.mailbox.time)
+        assert rt_c.memory.state_digest() == rt_p.memory.state_digest()
+        assert rt_c.mailbox.state_digest() == rt_p.mailbox.state_digest()
 
         st = rt_p.ingest.stats
         n_junk = sum(v for k, v in injected.items() if k != "redelivered")
@@ -413,10 +405,9 @@ class TestPoisonedStreamEquivalence:
 
         mem_c, mb_c = run(clean, 0.0)
         mem_p, mb_p = run(poisoned, lateness)
-        assert np.array_equal(mem_c.data.data, mem_p.data.data)
-        assert np.array_equal(mb_c.mail.data, mb_p.mail.data)
-        assert np.array_equal(mb_c.time, mb_p.time)
-        assert np.array_equal(mb_c._next_slot, mb_p._next_slot)
+        # digests cover mail, times, and the ring cursor in one identity
+        assert mem_c.state_digest() == mem_p.state_digest()
+        assert mb_c.state_digest() == mb_p.state_digest()
 
 
 class TestChaos:
